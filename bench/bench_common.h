@@ -1,0 +1,73 @@
+#ifndef WICLEAN_BENCH_BENCH_COMMON_H_
+#define WICLEAN_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the experiment-reproduction harnesses (Fig 4, Table 1,
+// the small-data candidate experiment, and the §6.3 quality analysis).
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/timer.h"
+#include "dump/ingest.h"
+#include "synth/dump_render.h"
+#include "synth/synthesizer.h"
+
+namespace wiclean::bench {
+
+/// Builds a soccer world of the given seed size (one year of history unless
+/// `years` says otherwise). Exits on failure — these are experiment drivers.
+inline SynthWorld MakeSoccerWorld(size_t seeds, uint64_t rng_seed = 97,
+                                  int years = 1) {
+  SynthOptions options;
+  options.seed_entities = seeds;
+  options.years = years;
+  options.rng_seed = rng_seed;
+  Result<SynthWorld> world = Synthesize(options);
+  if (!world.ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 world.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(world).value();
+}
+
+/// The paper's preprocessing step: render the world's history as a MediaWiki
+/// dump, then parse/diff it back into a revision store. Returns the wall
+/// time in seconds; the reconstructed store is written to *store.
+inline double TimeDumpPreprocessing(const SynthWorld& world,
+                                    Timestamp time_begin, Timestamp time_end,
+                                    RevisionStore* store) {
+  std::ostringstream dump;
+  // Rendering is the *generator's* job, not the system's: exclude it.
+  if (!WriteDump(world, time_begin, time_end, &dump).ok()) {
+    std::fprintf(stderr, "dump rendering failed\n");
+    std::exit(1);
+  }
+  std::string text = dump.str();
+
+  Timer timer;
+  std::istringstream in(text);
+  Result<IngestStats> stats = IngestDump(&in, *world.registry, store, {});
+  if (!stats.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  return timer.ElapsedSeconds();
+}
+
+/// argv[1] (if present) overrides a default size parameter, so the harnesses
+/// can be scaled up or down from the command line.
+inline size_t SizeArg(int argc, char** argv, size_t fallback) {
+  if (argc > 1) {
+    size_t v = std::strtoul(argv[1], nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace wiclean::bench
+
+#endif  // WICLEAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,86 @@
+// The §6.2 "experiments with small data": candidate patterns considered by
+// the incremental graph construction (PM / PM−join) versus the conventional
+// full-graph materialization (PM−inc / PM−inc,−join).
+//
+// Paper setup: a small mixed subset of Wikipedia (a 2-reachable neighborhood
+// of 10 soccer seeds, ~10K entities) fed whole to the full-graph variants,
+// vs incremental construction from 200 seeds reaching a subgraph of the same
+// order. Result: 524 candidates (full graph) vs 125 (incremental) — the
+// incremental construction prunes irrelevant candidates. Candidate counts do
+// not depend on the join engine, so two numbers summarize all four variants.
+//
+// Our setup: one world containing all three domains plus unrelated
+// background entities; mining runs on the soccer transfer window. PM−inc
+// ingests every revision log up front (including cinema, politics and
+// background noise, whose abstractions inflate the candidate space), while
+// PM only follows types reachable through frequent patterns.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/miner.h"
+
+using namespace wiclean;
+using namespace wiclean::bench;
+
+int main(int argc, char** argv) {
+  SynthOptions synth;
+  synth.seed_entities = SizeArg(argc, argv, 200);
+  synth.years = 1;
+  synth.rng_seed = 13;
+  synth.cinema = true;
+  synth.politics = true;
+  synth.background_entities = synth.seed_entities * 10;
+  synth.background_edit_rate = 20.0;
+  synth.background_relation_count = 300;
+  Result<SynthWorld> world_or = Synthesize(synth);
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "%s\n", world_or.status().ToString().c_str());
+    return 1;
+  }
+  SynthWorld world = std::move(world_or).value();
+
+  const TimeWindow window{224 * kSecondsPerDay, 238 * kSecondsPerDay};
+  std::printf(
+      "Small-data experiment (sec. 6.2): candidates considered,\n"
+      "incremental graph construction vs full materialization\n"
+      "world: %zu entities (3 domains + background), %zu actions; "
+      "2-week transfer window, tau=0.5\n"
+      "paper: PM-inc considered 524 candidates vs 125 for PM (~4.2x)\n\n",
+      world.registry->size(), world.store.num_actions());
+
+  MinerOptions base;
+  base.frequency_threshold = 0.5;
+  base.max_abstraction_lift = 1;
+  base.max_pattern_actions = 4;
+
+  std::printf("%-12s %12s %14s %12s %10s\n", "variant", "candidates",
+              "logs ingested", "actions", "patterns");
+  size_t candidates[2] = {0, 0};
+  int i = 0;
+  for (GraphStrategy strategy :
+       {GraphStrategy::kIncremental, GraphStrategy::kMaterializeFull}) {
+    MinerOptions options = base;
+    options.graph_strategy = strategy;
+    PatternMiner miner(world.registry.get(), &world.store, options);
+    Result<MineWindowResult> result =
+        miner.MineWindow(world.types.soccer_player, window);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    candidates[i++] = result->stats.candidates_considered;
+    std::printf("%-12s %12zu %14zu %12zu %10zu\n",
+                strategy == GraphStrategy::kIncremental ? "PM" : "PM-inc",
+                result->stats.candidates_considered,
+                result->stats.entities_ingested,
+                result->stats.actions_ingested,
+                result->most_specific.size());
+  }
+  if (candidates[0] > 0) {
+    std::printf("\nPM-inc / PM candidate ratio: %.2fx (paper: ~4.2x)\n",
+                static_cast<double>(candidates[1]) /
+                    static_cast<double>(candidates[0]));
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The paper's §7 closing suggestion: "applying our ideas to other domains
+// where revision histories are available and link consistency is important
+// (e.g., software repositories)". Here the articles are software projects,
+// libraries, maintainers and foundations; the transfer pattern becomes a
+// maintainer handover, the squad table becomes a dependents list.
+//
+//   ./build/examples/software_repos [seed_entities]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/window_search.h"
+#include "eval/quality.h"
+#include "synth/synthesizer.h"
+
+using namespace wiclean;
+
+int main(int argc, char** argv) {
+  SynthOptions synth;
+  synth.seed_entities = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 300;
+  synth.soccer = false;
+  synth.software = true;
+  synth.years = 2;
+  synth.rng_seed = 23;
+
+  Result<SynthWorld> world_or = Synthesize(synth);
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "%s\n", world_or.status().ToString().c_str());
+    return 1;
+  }
+  SynthWorld world = std::move(world_or).value();
+  std::printf(
+      "software-repository world: %zu entities, %zu revision actions\n\n",
+      world.registry->size(), world.store.num_actions());
+
+  WindowSearchOptions options;
+  options.initial_threshold = 0.8;
+  options.miner.max_abstraction_lift = 1;
+  options.miner.max_pattern_actions = 4;
+  options.mine_relative = false;
+
+  WindowSearch search(world.registry.get(), &world.store, options);
+  Result<WindowSearchResult> result =
+      search.Run(world.types.software_project, 0, kSecondsPerYear);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Discovered repository maintenance patterns:\n");
+  for (const DiscoveredPattern& dp : result->patterns) {
+    std::printf("  freq %.2f in %s: %s\n", dp.mined.frequency,
+                dp.mined.window.ToString().c_str(),
+                dp.mined.pattern.ToString(*world.taxonomy).c_str());
+  }
+
+  std::vector<ExpertPattern> experts;
+  for (const ExpertPattern& e : world.ground_truth.expert_patterns) {
+    if (e.domain == "software_repos") experts.push_back(e);
+  }
+  PatternQualityReport quality =
+      EvaluatePatternQuality(result->patterns, experts, *world.taxonomy);
+  std::printf(
+      "\nvs the maintainer's pattern list: precision %.2f, recall %zu/%zu\n",
+      quality.precision, quality.detected_experts, quality.expert_total);
+  for (const std::string& missed : quality.missed_experts) {
+    std::printf("  missed: %s (window-less, as in the Wikipedia domains)\n",
+                missed.c_str());
+  }
+
+  ErrorEvaluationOptions eval_options;
+  eval_options.detector.max_abstraction_lift = 1;
+  eval_options.miner = options.miner;
+  Result<ErrorDetectionReport> errors =
+      EvaluateErrorDetection(world, result->patterns, eval_options);
+  if (!errors.ok()) {
+    std::fprintf(stderr, "%s\n", errors.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n%zu stale cross-reference(s) signaled; %.1f%% fixed the following "
+      "year; %.1f%% of the rest confirmed broken\n",
+      errors->total_signals, errors->corrected_pct, errors->verified_pct);
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "common/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace wiclean {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  if (!pretty_) return;
+  (*out_) << '\n';
+  for (int i = 0; i < depth_; ++i) (*out_) << "  ";
+}
+
+void JsonWriter::Prefix(bool is_value) {
+  if (pending_key_) {
+    // Value directly after a key: no comma, key already emitted one.
+    pending_key_ = false;
+    return;
+  }
+  if (depth_ > 0) {
+    if (has_items_.back()) (*out_) << ',';
+    has_items_.back() = true;
+    Indent();
+  }
+  if (is_value && depth_ == 0) wrote_value_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  Prefix(true);
+  (*out_) << '{';
+  has_items_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::EndObject() {
+  --depth_;
+  if (has_items_.back()) Indent();
+  has_items_.pop_back();
+  (*out_) << '}';
+  if (depth_ == 0) wrote_value_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  Prefix(true);
+  (*out_) << '[';
+  has_items_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::EndArray() {
+  --depth_;
+  if (has_items_.back()) Indent();
+  has_items_.pop_back();
+  (*out_) << ']';
+  if (depth_ == 0) wrote_value_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Prefix(false);
+  (*out_) << '"' << JsonEscape(key) << "\":";
+  if (pretty_) (*out_) << ' ';
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Prefix(true);
+  (*out_) << '"' << JsonEscape(value) << '"';
+  wrote_value_ = wrote_value_ || depth_ == 0;
+}
+
+void JsonWriter::Number(double value) {
+  Prefix(true);
+  if (std::isfinite(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    (*out_) << buf;
+  } else {
+    (*out_) << "null";  // JSON has no NaN/Inf
+  }
+  wrote_value_ = wrote_value_ || depth_ == 0;
+}
+
+void JsonWriter::Int(int64_t value) {
+  Prefix(true);
+  (*out_) << value;
+  wrote_value_ = wrote_value_ || depth_ == 0;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prefix(true);
+  (*out_) << (value ? "true" : "false");
+  wrote_value_ = wrote_value_ || depth_ == 0;
+}
+
+void JsonWriter::Null() {
+  Prefix(true);
+  (*out_) << "null";
+  wrote_value_ = wrote_value_ || depth_ == 0;
+}
+
+}  // namespace wiclean

@@ -1,0 +1,69 @@
+#ifndef WICLEAN_COMMON_JSON_H_
+#define WICLEAN_COMMON_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wiclean {
+
+/// Minimal streaming JSON writer used by the report module and the CLI.
+///
+/// The writer tracks nesting and comma placement; the caller provides
+/// structure:
+///
+///   JsonWriter w(&out);
+///   w.BeginObject();
+///   w.Key("patterns");
+///   w.BeginArray();
+///   w.BeginObject();
+///   w.Key("frequency"); w.Number(0.8);
+///   w.EndObject();
+///   w.EndArray();
+///   w.EndObject();
+///
+/// Output is deterministic and compact (no whitespace) unless pretty mode is
+/// enabled, in which case it is indented with two spaces.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out, bool pretty = false)
+      : out_(out), pretty_(pretty) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Number(double value);
+  void Int(int64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// True once every container has been closed and a top-level value exists.
+  bool Complete() const { return depth_ == 0 && wrote_value_; }
+
+ private:
+  void Prefix(bool is_value);
+  void Indent();
+
+  std::ostream* out_;
+  bool pretty_;
+  // Per-depth: whether anything has been emitted in the container.
+  std::vector<bool> has_items_ = {};
+  bool pending_key_ = false;
+  bool wrote_value_ = false;
+  int depth_ = 0;
+};
+
+/// Escapes a string for inclusion in JSON (quotes not included).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_COMMON_JSON_H_

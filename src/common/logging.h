@@ -1,0 +1,76 @@
+#ifndef WICLEAN_COMMON_LOGGING_H_
+#define WICLEAN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wiclean {
+
+/// Severity levels for the minimal logging facility. kFatal aborts the
+/// process after emitting the message.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Global log threshold; messages below it are discarded. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it (for suppressed levels).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace wiclean
+
+/// WICLEAN_LOG(Info) << "ingested " << n << " pages";
+#define WICLEAN_LOG(severity)                                             \
+  (::wiclean::LogLevel::k##severity < ::wiclean::GetLogLevel())           \
+      ? (void)0                                                           \
+      : ::wiclean::internal_logging::LogVoidify() &                       \
+            ::wiclean::internal_logging::LogMessage(                      \
+                ::wiclean::LogLevel::k##severity, __FILE__, __LINE__)     \
+                .stream()
+
+/// Checks a condition in all build modes; logs and aborts on failure.
+#define WICLEAN_CHECK(cond)                                            \
+  (cond) ? (void)0                                                     \
+         : ::wiclean::internal_logging::LogVoidify() &                 \
+               ::wiclean::internal_logging::LogMessage(                \
+                   ::wiclean::LogLevel::kFatal, __FILE__, __LINE__)    \
+                   .stream()                                           \
+               << "Check failed: " #cond " "
+
+namespace wiclean {
+namespace internal_logging {
+
+/// Helper giving the ternary in WICLEAN_LOG a common void type.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace wiclean
+
+#endif  // WICLEAN_COMMON_LOGGING_H_

@@ -1,0 +1,84 @@
+#ifndef WICLEAN_COMMON_RESULT_H_
+#define WICLEAN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace wiclean {
+
+/// Result<T> holds either a value of type T or a non-OK Status — the
+/// value-returning counterpart of Status (cf. arrow::Result / absl::StatusOr).
+///
+/// Usage:
+///   Result<Table> r = LoadTable(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status: `return Status::NotFound(..)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK() if a value is held.
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked by assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+}  // namespace wiclean
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status
+/// from the enclosing function. `lhs` may declare a new variable.
+#define WICLEAN_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  WICLEAN_ASSIGN_OR_RETURN_IMPL_(                               \
+      WICLEAN_CONCAT_(_wc_result_, __LINE__), lhs, rexpr)
+
+#define WICLEAN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define WICLEAN_CONCAT_(a, b) WICLEAN_CONCAT_IMPL_(a, b)
+#define WICLEAN_CONCAT_IMPL_(a, b) a##b
+
+#endif  // WICLEAN_COMMON_RESULT_H_

@@ -1,0 +1,100 @@
+#ifndef WICLEAN_COMMON_STATUS_H_
+#define WICLEAN_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace wiclean {
+
+/// Error taxonomy for Status. Kept deliberately small: these are the failure
+/// classes that cross public API boundaries in this codebase.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,      // malformed dump / wikitext input
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable, human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// RocksDB-style status object. Functions that can fail return a Status (or a
+/// Result<T>, see result.h) instead of throwing: exceptions never cross the
+/// public API of this library.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message describing the failure in context.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error class.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>"; for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace wiclean
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK. The enclosing function must return Status.
+#define WICLEAN_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::wiclean::Status _wc_status = (expr);            \
+    if (!_wc_status.ok()) return _wc_status;          \
+  } while (false)
+
+#endif  // WICLEAN_COMMON_STATUS_H_

@@ -1,0 +1,57 @@
+#ifndef WICLEAN_COMMON_THREAD_POOL_H_
+#define WICLEAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wiclean {
+
+/// Fixed-size worker pool used to parallelize per-window and per-type work in
+/// the mining pipeline (the paper's "embarrassingly parallel" decomposition of
+/// non-overlapping time windows, §4.3/§6.2).
+///
+/// Tasks are plain std::function<void()>; results flow through captured state
+/// owned by the caller. Wait() blocks until every submitted task has finished.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// fn must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_COMMON_THREAD_POOL_H_

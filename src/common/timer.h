@@ -1,0 +1,35 @@
+#ifndef WICLEAN_COMMON_TIMER_H_
+#define WICLEAN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wiclean {
+
+/// Wall-clock stopwatch for the experiment harnesses (Fig 4 timing splits:
+/// preprocessing vs. mining).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_COMMON_TIMER_H_

@@ -1,0 +1,780 @@
+#include "core/miner.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "relational/ops.h"
+
+namespace wiclean {
+
+namespace rel = ::wiclean::relational;
+
+void MineWindowStats::Accumulate(const MineWindowStats& other) {
+  candidates_considered += other.candidates_considered;
+  entities_ingested += other.entities_ingested;
+  actions_ingested += other.actions_ingested;
+  abstract_actions += other.abstract_actions;
+  frequent_patterns += other.frequent_patterns;
+  ingest_seconds += other.ingest_seconds;
+  mine_seconds += other.mine_seconds;
+}
+
+void MineWindowStats::Subtract(const MineWindowStats& base) {
+  candidates_considered -= base.candidates_considered;
+  actions_ingested -= base.actions_ingested;
+  ingest_seconds -= base.ingest_seconds;
+  mine_seconds -= base.mine_seconds;
+  // entities_ingested / abstract_actions / frequent_patterns are level
+  // gauges, not counters; keep the current values.
+}
+
+std::string MineWindowStats::ToString() const {
+  return "candidates=" + std::to_string(candidates_considered) +
+         " entities=" + std::to_string(entities_ingested) +
+         " actions=" + std::to_string(actions_ingested) +
+         " abstract_actions=" + std::to_string(abstract_actions) +
+         " frequent=" + std::to_string(frequent_patterns);
+}
+
+namespace {
+
+/// Mining realization tables carry one int64 column per pattern variable
+/// ("v0".."vN") plus the realization's running time span ("tmin", "tmax").
+rel::Schema RealizationSchema(size_t num_vars) {
+  rel::Schema schema;
+  for (size_t i = 0; i < num_vars; ++i) {
+    schema.AddField(rel::Field{"v" + std::to_string(i),
+                               rel::DataType::kInt64});
+  }
+  schema.AddField(rel::Field{"tmin", rel::DataType::kInt64});
+  schema.AddField(rel::Field{"tmax", rel::DataType::kInt64});
+  return schema;
+}
+
+/// Deduplicates realization rows by variable assignment, keeping the row
+/// with the smallest time span (the most localizable witness).
+rel::Table DedupKeepTightest(const rel::Table& input, size_t num_vars) {
+  const size_t width = num_vars + 2;
+  std::vector<std::vector<int64_t>> rows;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash;
+  rows.reserve(input.num_rows());
+  std::vector<int64_t> row(width);
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t c = 0; c < width; ++c) row[c] = input.column(c).Int64At(r);
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t c = 0; c < num_vars; ++c) {
+      uint64_t x = static_cast<uint64_t>(row[c]);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h = HashCombine(h, x ^ (x >> 31));
+    }
+    bool matched = false;
+    for (size_t o : by_hash[h]) {
+      if (!std::equal(rows[o].begin(), rows[o].begin() + num_vars,
+                      row.begin())) {
+        continue;
+      }
+      matched = true;
+      int64_t old_span = rows[o][num_vars + 1] - rows[o][num_vars];
+      int64_t new_span = row[num_vars + 1] - row[num_vars];
+      if (new_span < old_span) rows[o] = row;
+      break;
+    }
+    if (!matched) {
+      by_hash[h].push_back(rows.size());
+      rows.push_back(row);
+    }
+  }
+  rel::Table out(input.schema());
+  for (const std::vector<int64_t>& kept : rows) out.AppendInt64Row(kept);
+  return out;
+}
+
+}  // namespace
+
+/// All mining logic for one (seed type, window) pair. Owns nothing; mutates
+/// the MiningContext it is given.
+class PatternMiner::Impl {
+ public:
+  Impl(const EntityRegistry* registry, const RevisionStore* store,
+       const MinerOptions& options, MiningContext* ctx, TypeId seed_type)
+      : registry_(registry),
+        taxonomy_(&registry->taxonomy()),
+        store_(store),
+        options_(options),
+        ctx_(ctx),
+        seed_type_(seed_type),
+        seed_count_(registry->CountEntitiesOfType(seed_type)) {}
+
+  size_t seed_count() const { return seed_count_; }
+
+  /// Stage-1 entry point: Algorithm 1's main loop. When the context carries
+  /// state from a previous (higher-threshold) run over the same window, the
+  /// cached evaluations seed the frequent set and only new expansions run.
+  Status MineFrequent() {
+    for (const auto& [key, state] : ctx_->evaluated) {
+      if (state.support > 0 &&
+          state.frequency >= options_.frequency_threshold) {
+        ctx_->evaluated.at(key).frequent = true;
+        frequent_keys_.push_back(key);
+      }
+    }
+    Timer ingest_timer;
+    if (options_.graph_strategy == GraphStrategy::kMaterializeFull) {
+      // PM−inc: the whole edits graph up front, like conventional miners.
+      std::vector<EntityId> all(registry_->size());
+      for (size_t i = 0; i < all.size(); ++i) {
+        all[i] = static_cast<EntityId>(i);
+      }
+      ctx_->index.AddEntities(all);
+      full_graph_ = true;
+    } else {
+      ctx_->index.AddEntities(registry_->EntitiesOfType(seed_type_));
+    }
+    ctx_->ingested_types.insert(seed_type_);
+    ctx_->stats.ingest_seconds += ingest_timer.ElapsedSeconds();
+
+    Timer mine_timer;
+    for (;;) {
+      WICLEAN_RETURN_IF_ERROR(ExpandAll(options_.frequency_threshold,
+                                        &frequent_keys_, &ctx_->tested,
+                                        /*mark_frequent=*/true));
+      ctx_->stats.mine_seconds += mine_timer.ElapsedSeconds();
+      mine_timer.Restart();
+
+      ingest_timer.Restart();
+      bool grew = IngestPendingTypes();
+      ctx_->stats.ingest_seconds += ingest_timer.ElapsedSeconds();
+      if (!grew) break;
+    }
+    ctx_->stats.mine_seconds += mine_timer.ElapsedSeconds();
+    ctx_->stats.entities_ingested = ctx_->index.num_entities_ingested();
+    ctx_->stats.actions_ingested = ctx_->index.num_actions_ingested();
+    ctx_->stats.abstract_actions = ctx_->index.entries().size();
+    ctx_->stats.frequent_patterns = frequent_keys_.size();
+    return Status::OK();
+  }
+
+  const std::vector<std::string>& frequent_keys() const {
+    return frequent_keys_;
+  }
+
+  /// Stage-2 entry point: relative mining from one base pattern (Def 3.5).
+  /// Returns keys of the admitted (relatively frequent) patterns, base
+  /// excluded.
+  Result<std::vector<std::string>> MineRelativeFrom(const std::string& base_key,
+                                                    double rel_threshold) {
+    auto it = ctx_->evaluated.find(base_key);
+    if (it == ctx_->evaluated.end()) {
+      return Status::InvalidArgument(
+          "relative mining base pattern was not evaluated in this context");
+    }
+    double admission = rel_threshold * it->second.frequency;
+    std::vector<std::string> admitted = {base_key};
+    std::unordered_set<uint64_t> local_tested;
+    Timer mine_timer;
+    WICLEAN_RETURN_IF_ERROR(ExpandAll(admission, &admitted, &local_tested,
+                                      /*mark_frequent=*/false));
+    ctx_->stats.mine_seconds += mine_timer.ElapsedSeconds();
+    admitted.erase(admitted.begin());  // drop the base itself
+    return admitted;
+  }
+
+ private:
+  /// Fixpoint expansion pass: grows `admitted_keys` (a worklist of pattern
+  /// keys whose expansions are explored) by testing every untested
+  /// (pattern, abstract action) pair, admitting extensions with frequency >=
+  /// `admission`. Also (re)scans singleton candidates when mark_frequent is
+  /// set, so newly ingested action types can seed new patterns.
+  Status ExpandAll(double admission, std::vector<std::string>* admitted_keys,
+                   std::unordered_set<uint64_t>* tested, bool mark_frequent) {
+    if (mark_frequent) {
+      WICLEAN_RETURN_IF_ERROR(
+          ScanSingletons(admission, admitted_keys, tested));
+    }
+    std::unordered_set<std::string> admitted_set(admitted_keys->begin(),
+                                                 admitted_keys->end());
+    for (size_t pi = 0; pi < admitted_keys->size(); ++pi) {
+      const std::string pattern_key = (*admitted_keys)[pi];
+      for (const auto& [action_key, entry] : ctx_->index.entries()) {
+        uint64_t pair_key =
+            HashCombine(Fnv1a64(pattern_key), Fnv1a64(action_key));
+        if (!tested->insert(pair_key).second) continue;
+        WICLEAN_RETURN_IF_ERROR(ExpandPair(pattern_key, entry, admission,
+                                           admitted_keys, &admitted_set,
+                                           mark_frequent));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Evaluates (or fetches from cache) all singleton patterns whose source
+  /// variable type is comparable to the seed type (Algorithm 1, line 2, over
+  /// every abstraction level).
+  Status ScanSingletons(double admission,
+                        std::vector<std::string>* admitted_keys,
+                        std::unordered_set<uint64_t>* tested) {
+    std::unordered_set<std::string> admitted_set(admitted_keys->begin(),
+                                                 admitted_keys->end());
+    for (const auto& [action_key, entry] : ctx_->index.entries()) {
+      if (!taxonomy_->Comparable(entry.key.source_type, seed_type_)) continue;
+      // Seed-focus constraint also applies to singletons whose target would
+      // be a second seed-comparable variable.
+      if (!options_.allow_multiple_seed_vars &&
+          taxonomy_->Comparable(entry.key.target_type, seed_type_)) {
+        continue;
+      }
+      uint64_t singleton_marker =
+          HashCombine(Fnv1a64("\x1e singleton"), Fnv1a64(action_key));
+      if (!tested->insert(singleton_marker).second) continue;
+
+      Pattern p;
+      int u = p.AddVar(entry.key.source_type);
+      int v = p.AddVar(entry.key.target_type);
+      WICLEAN_RETURN_IF_ERROR(
+          p.AddAction(entry.key.op, u, entry.key.relation, v));
+      WICLEAN_RETURN_IF_ERROR(p.SetSourceVar(u));
+
+      std::string key = p.CanonicalKey();
+      auto cached = ctx_->evaluated.find(key);
+      if (cached == ctx_->evaluated.end()) {
+        // Distinct variables bind distinct entities: drop self-link rows.
+        // Rows carry the action timestamp as a [t, t] span.
+        rel::Table realization(RealizationSchema(2));
+        const rel::Table& src = entry.realizations;
+        for (size_t r = 0; r < src.num_rows(); ++r) {
+          int64_t su = src.column(0).Int64At(r);
+          int64_t sv = src.column(1).Int64At(r);
+          int64_t st = src.column(2).Int64At(r);
+          if (su != sv) realization.AppendInt64Row({su, sv, st, st});
+        }
+        realization = DedupKeepTightest(realization, 2);
+        cached = RecordEvaluation(std::move(key), std::move(p),
+                                  std::move(realization));
+      }
+      MaybeAdmit(cached, admission, admitted_keys, &admitted_set,
+                 /*mark_frequent=*/true);
+    }
+    return Status::OK();
+  }
+
+  /// Expands one (pattern, abstract action) pair: every way of gluing the
+  /// action's source to a same-typed pattern variable, with the target either
+  /// a fresh variable or glued to a same-typed existing variable (§4.2).
+  Status ExpandPair(const std::string& pattern_key,
+                    const AbstractActionEntry& entry, double admission,
+                    std::vector<std::string>* admitted_keys,
+                    std::unordered_set<std::string>* admitted_set,
+                    bool mark_frequent) {
+    const MiningContext::PatternState& base = ctx_->evaluated.at(pattern_key);
+    const Pattern& p = base.pattern;
+    if (p.num_actions() >= options_.max_pattern_actions) return Status::OK();
+
+    // Seed-focus constraint: does the pattern already use its one allowed
+    // seed-comparable variable?
+    bool has_seed_var = false;
+    if (!options_.allow_multiple_seed_vars) {
+      for (size_t k = 0; k < p.num_vars(); ++k) {
+        has_seed_var |= taxonomy_->Comparable(
+            p.var_type(static_cast<int>(k)), seed_type_);
+      }
+    }
+
+    for (int i = 0; i < static_cast<int>(p.num_vars()); ++i) {
+      if (p.var_type(i) != entry.key.source_type) continue;
+
+      // No-parallel-edges constraint: skip extensions that would repeat an
+      // (op, relation) pair out of the same variable.
+      if (!options_.allow_parallel_edges) {
+        bool parallel = false;
+        for (const AbstractAction& a : p.actions()) {
+          if (a.source_var == i && a.op == entry.key.op &&
+              a.relation == entry.key.relation) {
+            parallel = true;
+            break;
+          }
+        }
+        if (parallel) continue;
+      }
+
+      // Option A: introduce a fresh target variable.
+      bool fresh_seed_var_blocked =
+          !options_.allow_multiple_seed_vars && has_seed_var &&
+          taxonomy_->Comparable(entry.key.target_type, seed_type_);
+      if (p.num_vars() < options_.max_pattern_vars &&
+          !fresh_seed_var_blocked) {
+        WICLEAN_RETURN_IF_ERROR(
+            EvaluateExtension(base, entry, i, /*glue_target=*/-1, admission,
+                              admitted_keys, admitted_set, mark_frequent));
+      }
+      // Option B: glue the target onto each compatible existing variable.
+      for (int k = 0; k < static_cast<int>(p.num_vars()); ++k) {
+        if (k == i || p.var_type(k) != entry.key.target_type) continue;
+        bool duplicate_action = false;
+        for (const AbstractAction& a : p.actions()) {
+          if (a.op == entry.key.op && a.source_var == i &&
+              a.target_var == k && a.relation == entry.key.relation) {
+            duplicate_action = true;
+            break;
+          }
+        }
+        if (duplicate_action) continue;
+        WICLEAN_RETURN_IF_ERROR(
+            EvaluateExtension(base, entry, i, k, admission, admitted_keys,
+                              admitted_set, mark_frequent));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Builds the extended pattern, computes its realization table by joining
+  /// the base realization with the action realization (hash join for PM,
+  /// nested loop for PM−join), evaluates its frequency, caches, and admits.
+  Status EvaluateExtension(const MiningContext::PatternState& base,
+                           const AbstractActionEntry& entry, int glue_source,
+                           int glue_target, double admission,
+                           std::vector<std::string>* admitted_keys,
+                           std::unordered_set<std::string>* admitted_set,
+                           bool mark_frequent) {
+    Pattern extended = base.pattern;
+    int target_var =
+        glue_target >= 0 ? glue_target : extended.AddVar(entry.key.target_type);
+    WICLEAN_RETURN_IF_ERROR(extended.AddAction(entry.key.op, glue_source,
+                                               entry.key.relation,
+                                               target_var));
+
+    std::string key = extended.CanonicalKey();
+    auto cached = ctx_->evaluated.find(key);
+    if (cached == ctx_->evaluated.end()) {
+      const size_t n = base.pattern.num_vars();
+      rel::JoinSpec spec;
+      spec.equal_cols.push_back(
+          {static_cast<size_t>(glue_source), 0});  // pattern var = action u
+      if (glue_target >= 0) {
+        spec.equal_cols.push_back({static_cast<size_t>(glue_target), 1});
+      } else {
+        // Fresh variable: must bind an entity distinct from every variable it
+        // could share a binding with (types on one taxonomy path).
+        for (size_t k = 0; k < n; ++k) {
+          if (taxonomy_->Comparable(base.pattern.var_type(k),
+                                    entry.key.target_type)) {
+            spec.not_equal_cols.push_back({k, 1});
+          }
+        }
+      }
+      WICLEAN_ASSIGN_OR_RETURN(rel::Table joined,
+                               Join(base.realizations, entry.realizations,
+                                    spec));
+      // Joined layout: v0..v(n-1), tmin, tmax, u, v, t. Recompute the span,
+      // prune realizations wider than any reportable pattern window, and
+      // keep the tightest witness per variable assignment.
+      const size_t new_vars = glue_target < 0 ? n + 1 : n;
+      rel::Table realization(RealizationSchema(new_vars));
+      std::vector<int64_t> row(new_vars + 2);
+      for (size_t r = 0; r < joined.num_rows(); ++r) {
+        int64_t t = joined.column(n + 4).Int64At(r);
+        int64_t tmin = std::min(joined.column(n).Int64At(r), t);
+        int64_t tmax = std::max(joined.column(n + 1).Int64At(r), t);
+        if (tmax - tmin > options_.max_realization_span) continue;
+        for (size_t c = 0; c < n; ++c) row[c] = joined.column(c).Int64At(r);
+        if (glue_target < 0) row[n] = joined.column(n + 3).Int64At(r);  // v
+        row[new_vars] = tmin;
+        row[new_vars + 1] = tmax;
+        realization.AppendInt64Row(row);
+      }
+      realization = DedupKeepTightest(realization, new_vars);
+      cached = RecordEvaluation(std::move(key), std::move(extended),
+                                std::move(realization));
+    }
+    MaybeAdmit(cached, admission, admitted_keys, admitted_set, mark_frequent);
+    return Status::OK();
+  }
+
+  /// Computes frequency (Definition 3.2) and stores the evaluation.
+  std::map<std::string, MiningContext::PatternState>::iterator
+  RecordEvaluation(std::string key, Pattern pattern, rel::Table realization) {
+    ++ctx_->stats.candidates_considered;
+    MiningContext::PatternState state;
+    size_t source_col = static_cast<size_t>(pattern.source_var());
+    state.support = CountDistinctSeedSources(realization, source_col);
+    state.frequency =
+        seed_count_ == 0
+            ? 0.0
+            : static_cast<double>(state.support) / seed_count_;
+    state.pattern = std::move(pattern);
+    if (state.frequency >= options_.realization_cache_min_frequency) {
+      state.realizations = std::move(realization);
+    }
+    return ctx_->evaluated.emplace(std::move(key), std::move(state)).first;
+  }
+
+  void MaybeAdmit(
+      std::map<std::string, MiningContext::PatternState>::iterator it,
+      double admission, std::vector<std::string>* admitted_keys,
+      std::unordered_set<std::string>* admitted_set, bool mark_frequent) {
+    if (it->second.support == 0 || it->second.frequency < admission) return;
+    if (mark_frequent) it->second.frequent = true;
+    if (admitted_set->insert(it->first).second) {
+      admitted_keys->push_back(it->first);
+    }
+  }
+
+  /// COUNT(DISTINCT source) restricted to entities(seed_type) (§4.2).
+  size_t CountDistinctSeedSources(const rel::Table& realization,
+                                  size_t source_col) const {
+    std::unordered_set<int64_t> seen;
+    const rel::Column& col = realization.column(source_col);
+    for (size_t r = 0; r < realization.num_rows(); ++r) {
+      if (col.IsNull(r)) continue;
+      int64_t e = col.Int64At(r);
+      if (taxonomy_->IsA(registry_->TypeOf(e), seed_type_)) seen.insert(e);
+    }
+    return seen.size();
+  }
+
+  Result<rel::Table> Join(const rel::Table& left, const rel::Table& right,
+                          const rel::JoinSpec& spec) const {
+    if (options_.join_engine == JoinEngineKind::kHashJoin) {
+      return rel::HashJoin(left, right, spec);
+    }
+    return rel::NestedLoopJoin(left, right, spec);
+  }
+
+  /// Algorithm 1 lines 4-8: ingest revision histories of any new entity type
+  /// appearing in an admitted pattern. Returns true if anything new arrived.
+  bool IngestPendingTypes() {
+    if (full_graph_) return false;
+    bool grew = false;
+    for (const std::string& key : frequent_keys_) {
+      const Pattern& p = ctx_->evaluated.at(key).pattern;
+      for (TypeId t : p.DistinctVarTypes()) {
+        if (!ctx_->ingested_types.insert(t).second) continue;
+        size_t added = ctx_->index.AddEntities(registry_->EntitiesOfType(t));
+        grew = grew || added > 0;
+      }
+    }
+    return grew;
+  }
+
+  const EntityRegistry* registry_;
+  const TypeTaxonomy* taxonomy_;
+  const RevisionStore* store_;
+  const MinerOptions& options_;
+  MiningContext* ctx_;
+  TypeId seed_type_;
+  size_t seed_count_;
+  bool full_graph_ = false;
+
+  std::vector<std::string> frequent_keys_;
+};
+
+PatternMiner::PatternMiner(const EntityRegistry* registry,
+                           const RevisionStore* store, MinerOptions options)
+    : registry_(registry), store_(store), options_(options) {}
+
+Result<MineWindowResult> PatternMiner::MineWindow(
+    TypeId seed_type, const TimeWindow& window,
+    std::shared_ptr<MiningContext> reuse) const {
+  if (!registry_->taxonomy().IsValid(seed_type)) {
+    return Status::InvalidArgument("invalid seed type id");
+  }
+  if (window.width() <= 0) {
+    return Status::InvalidArgument("empty mining window " + window.ToString());
+  }
+  if (registry_->CountEntitiesOfType(seed_type) == 0) {
+    return Status::InvalidArgument(
+        "seed type '" + registry_->taxonomy().Name(seed_type) +
+        "' has no entities");
+  }
+  if (reuse != nullptr && !(reuse->index.window() == window)) {
+    return Status::InvalidArgument(
+        "reused mining context belongs to a different window");
+  }
+
+  MineWindowResult result;
+  result.context =
+      reuse != nullptr
+          ? std::move(reuse)
+          : std::make_shared<MiningContext>(registry_, store_, window,
+                                            options_);
+  MineWindowStats baseline = result.context->stats;
+  Impl impl(registry_, store_, options_, result.context.get(), seed_type);
+  WICLEAN_RETURN_IF_ERROR(impl.MineFrequent());
+
+  // Collect every frequent pattern, then filter to the most specific ones
+  // (Definition 3.3) among them.
+  std::vector<const MiningContext::PatternState*> frequent;
+  for (const std::string& key : impl.frequent_keys()) {
+    frequent.push_back(&result.context->evaluated.at(key));
+  }
+  const TypeTaxonomy& taxonomy = registry_->taxonomy();
+  for (const MiningContext::PatternState* state : frequent) {
+    MinedPattern mp{state->pattern, window, state->frequency, state->support};
+    result.all_frequent.push_back(mp);
+    bool dominated = false;
+    for (const MiningContext::PatternState* other : frequent) {
+      if (other == state) continue;
+      if (IsStrictSpecializationOf(other->pattern, state->pattern, taxonomy)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.most_specific.push_back(std::move(mp));
+  }
+  result.stats = result.context->stats;
+  result.stats.Subtract(baseline);
+  return result;
+}
+
+Result<std::vector<PatternMiner::RealizationSpan>>
+PatternMiner::EvaluateRealizations(TypeId seed_type, const Pattern& pattern,
+                                   const TimeWindow& window) const {
+  if (pattern.num_actions() == 0) {
+    return Status::InvalidArgument("cannot evaluate an empty pattern");
+  }
+  if (registry_->CountEntitiesOfType(seed_type) == 0) {
+    return Status::InvalidArgument("seed type has no entities");
+  }
+  WICLEAN_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                           PatternTraversalOrder(pattern));
+
+  ActionIndex index(registry_, store_, window, options_.max_abstraction_lift);
+  for (TypeId t : pattern.DistinctVarTypes()) {
+    index.AddEntities(registry_->EntitiesOfType(t));
+  }
+  const TypeTaxonomy& taxonomy = registry_->taxonomy();
+
+  // Per-action realization tables, with §7 value bindings applied. The
+  // filtered copies (only materialized for bound patterns) live here so the
+  // chain below can keep working with stable pointers.
+  std::vector<rel::Table> bound_tables;
+  bound_tables.reserve(pattern.num_actions());
+  auto realizations_of = [&](size_t ai) -> const rel::Table* {
+    const AbstractAction& a = pattern.actions()[ai];
+    AbstractActionKey key{a.op, pattern.var_type(a.source_var), a.relation,
+                          pattern.var_type(a.target_var)};
+    auto it = index.entries().find(key.Encode());
+    if (it == index.entries().end()) return nullptr;
+    if (!pattern.HasBindings()) return &it->second.realizations;
+    bound_tables.push_back(FilterRealizationsByBindings(
+        it->second.realizations, pattern.var_binding(a.source_var),
+        pattern.var_binding(a.target_var)));
+    return &bound_tables.back();
+  };
+
+  // Accumulator: one column per bound variable (in binding order), then the
+  // running [tmin, tmax] span of the realization's edits.
+  std::vector<int> var_col(pattern.num_vars(), -1);
+  const AbstractAction& first = pattern.actions()[order[0]];
+  auto make_schema = [](size_t bound_vars) {
+    rel::Schema schema;
+    for (size_t i = 0; i < bound_vars; ++i) {
+      schema.AddField(rel::Field{"c" + std::to_string(i),
+                                 rel::DataType::kInt64});
+    }
+    schema.AddField(rel::Field{"tmin", rel::DataType::kInt64});
+    schema.AddField(rel::Field{"tmax", rel::DataType::kInt64});
+    return schema;
+  };
+
+  size_t bound_vars = 2;
+  rel::Table acc(make_schema(bound_vars));
+  if (const rel::Table* r0 = realizations_of(order[0])) {
+    for (size_t r = 0; r < r0->num_rows(); ++r) {
+      int64_t u = r0->column(0).Int64At(r);
+      int64_t v = r0->column(1).Int64At(r);
+      int64_t t = r0->column(2).Int64At(r);
+      if (u != v) acc.AppendInt64Row({u, v, t, t});
+    }
+  }
+  var_col[first.source_var] = 0;
+  var_col[first.target_var] = 1;
+
+  for (size_t step = 1; step < order.size() && acc.num_rows() > 0; ++step) {
+    const AbstractAction& a = pattern.actions()[order[step]];
+    const rel::Table* ra = realizations_of(order[step]);
+    if (ra == nullptr) {
+      acc = rel::Table(acc.schema());
+      break;
+    }
+    rel::JoinSpec spec;
+    spec.equal_cols.push_back({static_cast<size_t>(var_col[a.source_var]), 0});
+    bool fresh = var_col[a.target_var] < 0;
+    if (!fresh) {
+      spec.equal_cols.push_back(
+          {static_cast<size_t>(var_col[a.target_var]), 1});
+    } else {
+      for (size_t k = 0; k < pattern.num_vars(); ++k) {
+        if (var_col[k] < 0 || static_cast<int>(k) == a.target_var) continue;
+        if (taxonomy.Comparable(pattern.var_type(static_cast<int>(k)),
+                                pattern.var_type(a.target_var))) {
+          spec.not_equal_cols.push_back(
+              {static_cast<size_t>(var_col[k]), 1});
+        }
+      }
+    }
+    Result<rel::Table> joined =
+        options_.join_engine == JoinEngineKind::kHashJoin
+            ? rel::HashJoin(acc, *ra, spec)
+            : rel::NestedLoopJoin(acc, *ra, spec);
+    WICLEAN_RETURN_IF_ERROR(joined.status());
+
+    const size_t lhs_width = acc.num_columns();     // bound_vars + 2
+    const size_t span_col = bound_vars;             // tmin position in acc
+    if (fresh) {
+      var_col[a.target_var] = static_cast<int>(bound_vars);
+      ++bound_vars;
+    }
+    rel::Table next(make_schema(bound_vars));
+    std::vector<int64_t> row(bound_vars + 2);
+    for (size_t r = 0; r < joined->num_rows(); ++r) {
+      for (size_t c = 0; c < span_col; ++c) {
+        row[c] = joined->column(c).Int64At(r);
+      }
+      if (fresh) {
+        row[bound_vars - 1] = joined->column(lhs_width + 1).Int64At(r);  // v
+      }
+      int64_t t = joined->column(lhs_width + 2).Int64At(r);
+      row[bound_vars] =
+          std::min(joined->column(span_col).Int64At(r), t);      // tmin
+      row[bound_vars + 1] =
+          std::max(joined->column(span_col + 1).Int64At(r), t);  // tmax
+      next.AppendInt64Row(row);
+    }
+    acc = std::move(next);
+  }
+
+  std::vector<RealizationSpan> spans;
+  size_t source_col = static_cast<size_t>(var_col[pattern.source_var()]);
+  for (size_t r = 0; r < acc.num_rows(); ++r) {
+    int64_t e = acc.column(source_col).Int64At(r);
+    if (!taxonomy.IsA(registry_->TypeOf(e), seed_type)) continue;
+    spans.push_back(RealizationSpan{
+        e, acc.column(bound_vars).Int64At(r),
+        acc.column(bound_vars + 1).Int64At(r)});
+  }
+  return spans;
+}
+
+Result<double> PatternMiner::EvaluateFrequency(TypeId seed_type,
+                                               const Pattern& pattern,
+                                               const TimeWindow& window) const {
+  WICLEAN_ASSIGN_OR_RETURN(std::vector<RealizationSpan> spans,
+                           EvaluateRealizations(seed_type, pattern, window));
+  std::unordered_set<int64_t> seeds;
+  for (const RealizationSpan& s : spans) seeds.insert(s.seed);
+  size_t seed_count = registry_->CountEntitiesOfType(seed_type);
+  return static_cast<double>(seeds.size()) / static_cast<double>(seed_count);
+}
+
+Result<std::vector<PatternMiner::ValueSpecificPattern>>
+PatternMiner::MineValueSpecific(const MiningContext& context,
+                                TypeId seed_type, const MinedPattern& base,
+                                double min_value_share) const {
+  if (min_value_share <= 0 || min_value_share > 1) {
+    return Status::InvalidArgument("value share must be in (0, 1]");
+  }
+  auto it = context.evaluated.find(base.pattern.CanonicalKey());
+  if (it == context.evaluated.end()) {
+    return Status::InvalidArgument(
+        "value-specific mining base pattern was not evaluated in this "
+        "context");
+  }
+  const rel::Table& realization = it->second.realizations;
+  const Pattern& p = base.pattern;
+  const size_t n = p.num_vars();
+  if (realization.num_columns() < n) {
+    return Status::FailedPrecondition(
+        "base pattern's realization table was evicted (frequency below the "
+        "realization cache floor)");
+  }
+  const TypeTaxonomy& taxonomy = registry_->taxonomy();
+  size_t seed_count = registry_->CountEntitiesOfType(seed_type);
+  size_t source_col = static_cast<size_t>(p.source_var());
+
+  std::vector<ValueSpecificPattern> out;
+  for (size_t v = 0; v < n; ++v) {
+    if (static_cast<int>(v) == p.source_var()) continue;
+    if (p.var_binding(static_cast<int>(v)) != kInvalidEntityId) continue;
+    // value -> distinct seed-type sources realized with that value.
+    std::map<int64_t, std::unordered_set<int64_t>> seeds_by_value;
+    for (size_t r = 0; r < realization.num_rows(); ++r) {
+      int64_t source = realization.column(source_col).Int64At(r);
+      if (!taxonomy.IsA(registry_->TypeOf(source), seed_type)) continue;
+      seeds_by_value[realization.column(v).Int64At(r)].insert(source);
+    }
+    for (const auto& [value, seeds] : seeds_by_value) {
+      double share = base.support == 0
+                         ? 0.0
+                         : static_cast<double>(seeds.size()) /
+                               static_cast<double>(base.support);
+      if (share < min_value_share) continue;
+      ValueSpecificPattern vs;
+      vs.pattern = p;
+      WICLEAN_RETURN_IF_ERROR(
+          vs.pattern.BindVar(static_cast<int>(v), value));
+      vs.var = static_cast<int>(v);
+      vs.value = value;
+      vs.share = share;
+      vs.support = seeds.size();
+      vs.frequency = seed_count == 0
+                         ? 0.0
+                         : static_cast<double>(seeds.size()) /
+                               static_cast<double>(seed_count);
+      out.push_back(std::move(vs));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ValueSpecificPattern& a, const ValueSpecificPattern& b) {
+              return a.share > b.share;
+            });
+  return out;
+}
+
+Result<std::vector<RelativePattern>> PatternMiner::MineRelative(
+    MiningContext* context, TypeId seed_type, const MinedPattern& base,
+    double rel_threshold) const {
+  if (context == nullptr) {
+    return Status::InvalidArgument("MineRelative requires a mining context");
+  }
+  if (rel_threshold <= 0 || rel_threshold > 1) {
+    return Status::InvalidArgument("relative threshold must be in (0, 1]");
+  }
+  Impl impl(registry_, store_, options_, context, seed_type);
+  std::string base_key = base.pattern.CanonicalKey();
+  WICLEAN_ASSIGN_OR_RETURN(std::vector<std::string> admitted,
+                           impl.MineRelativeFrom(base_key, rel_threshold));
+  // Relative frequencies are w.r.t. the base frequency *in this context's
+  // window* (the base may have been re-localized afterwards).
+  const double base_frequency = context->evaluated.at(base_key).frequency;
+
+  // Most specific relatively-frequent refinements.
+  const TypeTaxonomy& taxonomy = registry_->taxonomy();
+  std::vector<RelativePattern> out;
+  for (const std::string& key : admitted) {
+    const auto& state = context->evaluated.at(key);
+    bool dominated = false;
+    for (const std::string& other_key : admitted) {
+      if (other_key == key) continue;
+      if (IsStrictSpecializationOf(context->evaluated.at(other_key).pattern,
+                                   state.pattern, taxonomy)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    RelativePattern rp;
+    rp.pattern = state.pattern;
+    rp.frequency = state.frequency;
+    rp.support = state.support;
+    rp.relative_frequency =
+        base_frequency > 0 ? state.frequency / base_frequency : 0.0;
+    out.push_back(std::move(rp));
+  }
+  return out;
+}
+
+}  // namespace wiclean

@@ -1,0 +1,247 @@
+#ifndef WICLEAN_CORE_MINER_H_
+#define WICLEAN_CORE_MINER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <string>
+#include <vector>
+
+#include "core/action_index.h"
+#include "core/pattern.h"
+#include "graph/entity_registry.h"
+#include "relational/table.h"
+#include "revision/revision_store.h"
+#include "revision/window.h"
+
+namespace wiclean {
+
+/// How pattern realizations and frequencies are computed — the §6.2 ablation
+/// axis "PM vs PM−join".
+enum class JoinEngineKind {
+  kHashJoin,    // PM: relational hash equi-join ("optimized SQL computation")
+  kNestedLoop,  // PM−join: conventional main-memory nested loop
+};
+
+/// How revision histories become the edits graph — the §6.2 ablation axis
+/// "PM vs PM−inc".
+enum class GraphStrategy {
+  kIncremental,      // PM: ingest only entity types reachable via frequent
+                     // patterns, on demand (Algorithm 1, lines 4-8)
+  kMaterializeFull,  // PM−inc: ingest the revision history of *every* known
+                     // entity up front, as conventional graph miners require
+};
+
+/// Tuning knobs for one mining run.
+struct MinerOptions {
+  /// Minimum pattern frequency (Definition 3.2) for admission.
+  double frequency_threshold = 0.7;
+
+  JoinEngineKind join_engine = JoinEngineKind::kHashJoin;
+  GraphStrategy graph_strategy = GraphStrategy::kIncremental;
+
+  /// How many taxonomy levels above an entity's most-specific type are
+  /// enumerated when abstracting actions. 0 mines at base types only. Every
+  /// extra level multiplies the candidate space (the paper's "the number of
+  /// patterns that now need to be examined becomes larger").
+  int max_abstraction_lift = 1;
+
+  /// Growth caps; patterns in the paper's domains have up to ~6 actions.
+  size_t max_pattern_actions = 5;
+  size_t max_pattern_vars = 7;
+
+  /// Structural constraints that keep the search seed-focused. Both default
+  /// to off (= constrained), which is what the paper's reported output
+  /// implies even though its pattern definition technically admits more:
+  ///
+  /// allow_multiple_seed_vars: when false, a pattern may contain only one
+  /// variable whose type is comparable to the seed type. Without this, dense
+  /// fan-in relations (a club's squad lists a dozen players) make "the club
+  /// also signed *another* player" patterns frequent, and their ever-more-
+  /// specific chains dominate every real pattern.
+  bool allow_multiple_seed_vars = false;
+
+  /// allow_parallel_edges: when false, a pattern may not contain two actions
+  /// with the same (source variable, op, relation). None of the paper's
+  /// example patterns repeats an (op, relation) pair from one variable.
+  bool allow_parallel_edges = false;
+
+  /// Maximum time span a single realization may cover (max action time −
+  /// min action time). Realizations wider than this are pruned during
+  /// expansion: a pattern is only ever *reported* with a window of at most
+  /// WindowSearchOptions::max_pattern_window (the paper's windows are "hours
+  /// to months"), so realizations that cannot fit any reportable window are
+  /// dead weight — and, at wide ladder windows, they are precisely the
+  /// combinatorial conjunctions of unrelated events whose lattice otherwise
+  /// explodes the search.
+  Timestamp max_realization_span = 8 * kSecondsPerWeek;
+
+  /// Realization tables of evaluated patterns below this frequency are
+  /// discarded after the frequency is computed (the cached frequency
+  /// remains). Tables are only ever re-joined for *admitted* patterns, and
+  /// every admission threshold in the system (absolute ladders bottom out at
+  /// 0.2; relative admissions at rel_threshold * base frequency) stays above
+  /// this floor — lower it if you run with more permissive thresholds.
+  /// Bounds the memory of wide-window, low-threshold rounds.
+  double realization_cache_min_frequency = 0.1;
+};
+
+/// A frequent pattern discovered in one window.
+struct MinedPattern {
+  Pattern pattern;
+  TimeWindow window;
+  double frequency = 0;  // fraction of seed-type entities appearing as source
+  size_t support = 0;    // distinct seed-type source entities
+};
+
+/// A relatively-frequent refinement p' ≺ p of a base pattern p (Def 3.4/3.5).
+struct RelativePattern {
+  Pattern pattern;
+  double relative_frequency = 0;  // frequency(p') / frequency(p)
+  double frequency = 0;
+  size_t support = 0;
+};
+
+/// Counters for one MineWindow call (and the small-data candidate experiment).
+struct MineWindowStats {
+  size_t candidates_considered = 0;  // patterns whose frequency was evaluated
+  size_t entities_ingested = 0;      // revision logs read ("related entities")
+  size_t actions_ingested = 0;       // reduced actions processed
+  size_t abstract_actions = 0;       // distinct abstract-action entries
+  size_t frequent_patterns = 0;
+  double ingest_seconds = 0;  // reduced_and_abstract_actions time
+  double mine_seconds = 0;    // expansion + frequency evaluation time
+
+  void Accumulate(const MineWindowStats& other);
+  /// Subtracts a baseline snapshot (for incremental reporting).
+  void Subtract(const MineWindowStats& base);
+  std::string ToString() const;
+};
+
+/// Internal per-window state retained across the frequent and relative mining
+/// stages: the incremental ActionIndex plus a cache of every evaluated
+/// pattern (the paper's "caching of computed frequencies/realization tables,
+/// to be reused if the same patterns are later re-examined").
+class MiningContext {
+ public:
+  struct PatternState {
+    Pattern pattern;
+    relational::Table realizations;  // columns v0..vN (empty if infrequent)
+    double frequency = 0;
+    size_t support = 0;
+    bool frequent = false;
+
+    PatternState() : realizations(relational::Schema()) {}
+  };
+
+  MiningContext(const EntityRegistry* registry, const RevisionStore* store,
+                const TimeWindow& window, const MinerOptions& options)
+      : index(registry, store, window, options.max_abstraction_lift) {}
+
+  ActionIndex index;
+  /// canonical pattern key -> evaluation result.
+  std::map<std::string, PatternState> evaluated;
+  /// Hashes of (pattern key, action key) pairs already expanded — tested[w]
+  /// in §4.1. 64-bit hashes keep this set compact at wide-window rounds.
+  std::unordered_set<uint64_t> tested;
+  /// Types whose entities(t) has been ingested.
+  std::set<TypeId> ingested_types;
+  MineWindowStats stats;
+};
+
+/// Result of mining one window.
+struct MineWindowResult {
+  std::vector<MinedPattern> most_specific;  // Definition 3.3 output
+  std::vector<MinedPattern> all_frequent;   // every frequent pattern found
+  MineWindowStats stats;
+  /// Retained so MineRelative (and diagnostics) can reuse realizations.
+  std::shared_ptr<MiningContext> context;
+};
+
+/// Algorithm 1: grow-and-store mining of connected frequent patterns in one
+/// time window, with join-based realization tables and incremental graph
+/// construction. Thread-safe: MineWindow builds all state in a fresh
+/// MiningContext, so distinct windows can be mined concurrently (§4.3).
+class PatternMiner {
+ public:
+  /// `registry` and `store` must outlive the miner.
+  PatternMiner(const EntityRegistry* registry, const RevisionStore* store,
+               MinerOptions options);
+
+  const MinerOptions& options() const { return options_; }
+
+  /// Mines the most specific frequent patterns of `window` w.r.t. `seed_type`.
+  ///
+  /// Passing `reuse` (a context produced by a previous MineWindow call on the
+  /// *same window*, typically at a higher threshold) resumes from its cached
+  /// realization tables and frequencies instead of starting over — the
+  /// paper's "caching of the computed frequencies/realization tables, to be
+  /// reused if the same patterns are later re-examined with different
+  /// thresholds". Stats in the result cover only the incremental work.
+  Result<MineWindowResult> MineWindow(
+      TypeId seed_type, const TimeWindow& window,
+      std::shared_ptr<MiningContext> reuse = nullptr) const;
+
+  /// One realization of a fixed pattern: the seed-type source entity and the
+  /// time span [tmin, tmax] covered by the realization's edits.
+  struct RealizationSpan {
+    EntityId seed = kInvalidEntityId;
+    Timestamp tmin = 0;
+    Timestamp tmax = 0;
+  };
+
+  /// Computes all realizations of one *fixed* pattern in one window by
+  /// chaining realization joins along the pattern's traversal order,
+  /// returning one span per realization (rows are not deduplicated; count
+  /// distinct seeds for support). The spans let the window search localize a
+  /// pattern's true window with arithmetic instead of repeated re-mining.
+  Result<std::vector<RealizationSpan>> EvaluateRealizations(
+      TypeId seed_type, const Pattern& pattern,
+      const TimeWindow& window) const;
+
+  /// Frequency (Definition 3.2) of one fixed pattern in one window; a
+  /// convenience over EvaluateRealizations. Cheaper than a full MineWindow
+  /// when only one pattern matters.
+  Result<double> EvaluateFrequency(TypeId seed_type, const Pattern& pattern,
+                                   const TimeWindow& window) const;
+
+  /// One §7 value-specific specialization of a frequent pattern: `var` is
+  /// bound to the concrete entity `value` (e.g. the club variable bound to
+  /// PSG), covering `share` of the base pattern's realizations.
+  struct ValueSpecificPattern {
+    Pattern pattern;
+    int var = -1;
+    EntityId value = kInvalidEntityId;
+    double share = 0;      // fraction of base realizations with this value
+    double frequency = 0;  // Definition 3.2 frequency of the bound pattern
+    size_t support = 0;
+  };
+
+  /// The paper's §7 "value-specific instantiations" extension: for each free
+  /// non-source variable of `base` (a pattern mined in `context`), finds the
+  /// concrete entities accounting for at least `min_value_share` of the
+  /// base's realizations, and emits the correspondingly bound patterns.
+  Result<std::vector<ValueSpecificPattern>> MineValueSpecific(
+      const MiningContext& context, TypeId seed_type, const MinedPattern& base,
+      double min_value_share) const;
+
+  /// Definition 3.5: mines the most specific *relatively* frequent
+  /// refinements of `base` (which must be a pattern found by the MineWindow
+  /// call that produced `context`). Expansion continues from base's cached
+  /// realization with admission threshold rel_threshold * frequency(base).
+  Result<std::vector<RelativePattern>> MineRelative(
+      MiningContext* context, TypeId seed_type, const MinedPattern& base,
+      double rel_threshold) const;
+
+ private:
+  class Impl;
+
+  const EntityRegistry* registry_;
+  const RevisionStore* store_;
+  MinerOptions options_;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_CORE_MINER_H_

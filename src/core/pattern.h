@@ -1,0 +1,136 @@
+#ifndef WICLEAN_CORE_PATTERN_H_
+#define WICLEAN_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "revision/action.h"
+#include "taxonomy/taxonomy.h"
+
+namespace wiclean {
+
+/// An abstract action (§3): an edit over *type variables* rather than
+/// concrete entities — (op, (t', l, t'')) where t'/t'' are variables of some
+/// taxonomy type. Variables are identified by their index into the owning
+/// Pattern's variable list.
+struct AbstractAction {
+  EditOp op = EditOp::kAdd;
+  int source_var = -1;
+  std::string relation;
+  int target_var = -1;
+
+  bool operator==(const AbstractAction& other) const {
+    return op == other.op && source_var == other.source_var &&
+           relation == other.relation && target_var == other.target_var;
+  }
+};
+
+/// A connected update pattern (§3): a set of abstract actions over typed
+/// variables, with one distinguished *source* variable from which every other
+/// variable is reachable along action edges. Two patterns are identical up to
+/// isomorphism on same-typed variable names; CanonicalKey() realizes that
+/// equivalence.
+///
+/// A variable may additionally be *value-bound* to a concrete entity (the
+/// paper's §7 extension: "a pattern specific to PSG, but not to football
+/// clubs in general"); a bound variable only realizes as that entity and
+/// makes the pattern strictly more specific than its free counterpart.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Adds a variable of the given type; returns its index.
+  int AddVar(TypeId type);
+
+  /// Adds an abstract action between existing variables.
+  Status AddAction(EditOp op, int source_var, const std::string& relation,
+                   int target_var);
+
+  /// Designates the distinguished source variable (w.r.t. the seed type).
+  Status SetSourceVar(int var);
+
+  /// Value-binds a variable to a concrete entity (§7 value-specific
+  /// patterns). Pass kInvalidEntityId to clear.
+  Status BindVar(int var, EntityId value);
+
+  /// The entity a variable is bound to, or kInvalidEntityId if free.
+  EntityId var_binding(int var) const { return var_bindings_[var]; }
+  bool HasBindings() const;
+
+  size_t num_vars() const { return var_types_.size(); }
+  size_t num_actions() const { return actions_.size(); }
+  TypeId var_type(int var) const { return var_types_[var]; }
+  const std::vector<TypeId>& var_types() const { return var_types_; }
+  const std::vector<AbstractAction>& actions() const { return actions_; }
+  int source_var() const { return source_var_; }
+
+  /// All distinct variable types in the pattern (the entity types whose
+  /// revision histories Algorithm 1/3 must ingest).
+  std::vector<TypeId> DistinctVarTypes() const;
+
+  /// True iff every variable is reachable from `from` along directed action
+  /// edges — Definition 3.1 connectivity when `from` is the source.
+  bool ConnectedFrom(int from) const;
+
+  /// True iff ConnectedFrom(source_var()).
+  bool IsConnected() const;
+
+  /// A string key identical for isomorphic patterns (same up to renaming of
+  /// variables, respecting types and the source designation). Computed by
+  /// trying every type-preserving variable permutation and keeping the
+  /// lexicographically smallest encoding; patterns are small (≤ ~8 vars) so
+  /// this is cheap and exact.
+  std::string CanonicalKey() const;
+
+  /// Human-readable rendering using taxonomy type names, e.g.
+  ///   "{+ (soccer_player#0, current_club, club#1)}, source=soccer_player#0".
+  std::string ToString(const TypeTaxonomy& taxonomy) const;
+
+  bool operator==(const Pattern& other) const {
+    return CanonicalKey() == other.CanonicalKey();
+  }
+
+ private:
+  std::vector<TypeId> var_types_;
+  std::vector<EntityId> var_bindings_;  // kInvalidEntityId = free variable
+  std::vector<AbstractAction> actions_;
+  int source_var_ = -1;
+};
+
+/// Tests whether `specific` ≼ `general` in the pattern specificity order (§3,
+/// "partial order of patterns"): `general` can be obtained from `specific` by
+/// deleting some abstract actions and/or generalizing some variable types.
+///
+/// Operationally: an injective mapping of general's variables into specific's
+/// variables exists such that every action of `general` maps onto an action
+/// of `specific` with the same op and relation, and each general variable's
+/// type is equal to or an ancestor of the mapped specific variable's type,
+/// with the source variable mapping to the source variable.
+bool IsSpecializationOf(const Pattern& specific, const Pattern& general,
+                        const TypeTaxonomy& taxonomy);
+
+/// Strict version: specific ≺ general (specialization but not isomorphic).
+bool IsStrictSpecializationOf(const Pattern& specific, const Pattern& general,
+                              const TypeTaxonomy& taxonomy);
+
+/// Filters `patterns` down to the most specific ones (Definition 3.3): keeps
+/// p iff no other element is a strict specialization of p. Preserves order.
+std::vector<Pattern> MostSpecificPatterns(const std::vector<Pattern>& patterns,
+                                          const TypeTaxonomy& taxonomy);
+
+/// Builds the sub-pattern containing exactly the given actions (indices into
+/// pattern.actions()), with variables renumbered to the referenced subset.
+/// Fails if the source variable is not referenced by any kept action.
+Result<Pattern> SubPattern(const Pattern& pattern,
+                           const std::vector<size_t>& action_indices);
+
+/// Orders the pattern's action indices so that each action's source variable
+/// is bound by an earlier action or is the pattern source — the traversal
+/// order used by realization chaining (Algorithm 3 and frequency
+/// evaluation). Fails for patterns that are not connected from their source.
+Result<std::vector<size_t>> PatternTraversalOrder(const Pattern& pattern);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_CORE_PATTERN_H_

@@ -1,0 +1,386 @@
+#include "core/window_search.h"
+#include <algorithm>
+
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace wiclean {
+namespace {
+
+/// Memoizing wrapper around PatternMiner::EvaluateFrequency. Validation
+/// (window tightening + leverage partitions) probes many overlapping
+/// (sub-pattern, window) pairs — e.g. every league-extended transfer variant
+/// shares most of its sub-patterns — so the cache cuts the validation cost
+/// by an order of magnitude.
+class FreqEvaluator {
+ public:
+  FreqEvaluator(const PatternMiner* miner, TypeId seed_type)
+      : miner_(miner), seed_type_(seed_type) {}
+
+  Result<double> operator()(const Pattern& pattern, const TimeWindow& window) {
+    std::string key = pattern.CanonicalKey();
+    key += '@';
+    key += std::to_string(window.begin);
+    key += ':';
+    key += std::to_string(window.end);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    WICLEAN_ASSIGN_OR_RETURN(double f,
+                             miner_->EvaluateFrequency(seed_type_, pattern,
+                                                       window));
+    memo_.emplace(std::move(key), f);
+    return f;
+  }
+
+ private:
+  const PatternMiner* miner_;
+  TypeId seed_type_;
+  std::map<std::string, double> memo_;
+};
+
+/// Re-localizes a discovered pattern to its tightest window (see
+/// WindowSearchOptions::subwindow_validation) and re-checks the threshold.
+/// Computes the pattern's realization time spans once, then localizes with
+/// pure arithmetic: a realization supports a candidate window iff its whole
+/// span fits inside. On success, updates mp->window and mp->frequency in
+/// place and returns true; returns false when the pattern is a window
+/// artifact.
+Result<bool> TightenWindow(const PatternMiner& miner, TypeId seed_type,
+                           size_t seed_count, Timestamp min_width,
+                           double support_fraction,
+                           Timestamp max_pattern_window, double threshold,
+                           MinedPattern* mp) {
+  WICLEAN_ASSIGN_OR_RETURN(
+      std::vector<PatternMiner::RealizationSpan> spans,
+      miner.EvaluateRealizations(seed_type, mp->pattern, mp->window));
+  auto freq_in = [&](const TimeWindow& w) {
+    std::unordered_set<int64_t> seeds;
+    for (const PatternMiner::RealizationSpan& s : spans) {
+      if (s.tmin >= w.begin && s.tmax < w.end) seeds.insert(s.seed);
+    }
+    return static_cast<double>(seeds.size()) /
+           static_cast<double>(seed_count);
+  };
+
+  TimeWindow window = mp->window;
+  double freq = freq_in(window);
+  while (window.width() > min_width) {
+    Timestamp half = std::max(min_width, (window.width() + 1) / 2);
+    if (half >= window.width()) break;
+    Timestamp step = std::max<Timestamp>(1, half / 8);
+    double best_freq = -1;
+    TimeWindow best{0, 0};
+    for (Timestamp start = window.begin; start + half <= window.end;
+         start += step) {
+      TimeWindow candidate{start, start + half};
+      double f = freq_in(candidate);
+      if (f > best_freq) {
+        best_freq = f;
+        best = candidate;
+      }
+      // Keep the final position flush with the window end.
+      if (start + step + half > window.end && start + half < window.end) {
+        start = window.end - half - step;
+      }
+    }
+    if (best_freq < support_fraction * freq) break;  // cannot localize further
+    window = best;
+    freq = best_freq;
+  }
+  // The final tight window must still carry (almost) threshold-level
+  // frequency; 10% slack absorbs boundary effects. Window artifacts lose far
+  // more than 10% when localized.
+  if (freq < 0.9 * threshold) return false;
+  if (window.width() > max_pattern_window) return false;  // not localizable
+  mp->window = window;
+  mp->frequency = freq;
+  return true;
+}
+
+/// Tests every 2-partition of the pattern's actions into source-connected
+/// sub-patterns; returns false (artifact) when some partition's phi
+/// coefficient falls below `min_phi`.
+Result<bool> PassesLeverage(FreqEvaluator& freq_of, double min_phi,
+                            const MinedPattern& mp) {
+  const size_t n = mp.pattern.num_actions();
+  if (n < 2 || n > 16) return true;
+  for (uint32_t mask = 1; mask < (1u << (n - 1)); ++mask) {
+    // Bit n-1 always lands in side B, so each partition is visited once.
+    std::vector<size_t> side_a, side_b;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        side_a.push_back(i);
+      } else {
+        side_b.push_back(i);
+      }
+    }
+    Result<Pattern> a = SubPattern(mp.pattern, side_a);
+    Result<Pattern> b = SubPattern(mp.pattern, side_b);
+    // Only partitions where both sides are evaluable (contain the source and
+    // stay connected) can be tested.
+    if (!a.ok() || !b.ok() || !a->IsConnected() || !b->IsConnected()) {
+      continue;
+    }
+    WICLEAN_ASSIGN_OR_RETURN(double fa, freq_of(*a, mp.window));
+    WICLEAN_ASSIGN_OR_RETURN(double fb, freq_of(*b, mp.window));
+    double variance = fa * (1 - fa) * fb * (1 - fb);
+    if (variance < 1e-6) continue;  // a near-constant side cannot discriminate
+    double phi = (mp.frequency - fa * fb) / std::sqrt(variance);
+    if (phi < min_phi) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+WindowSearch::WindowSearch(const EntityRegistry* registry,
+                           const RevisionStore* store,
+                           WindowSearchOptions options)
+    : registry_(registry), store_(store), options_(std::move(options)) {}
+
+Result<WindowSearchResult> WindowSearch::RunForSeedEntity(
+    EntityId seed_entity, Timestamp timeline_begin,
+    Timestamp timeline_end) const {
+  TypeId t = registry_->TypeOf(seed_entity);
+  if (t == kInvalidTypeId) {
+    return Status::NotFound("unknown seed entity id " +
+                            std::to_string(seed_entity));
+  }
+  return Run(t, timeline_begin, timeline_end);
+}
+
+Result<WindowSearchResult> WindowSearch::Run(TypeId seed_type,
+                                             Timestamp timeline_begin,
+                                             Timestamp timeline_end) const {
+  if (timeline_end <= timeline_begin) {
+    return Status::InvalidArgument("empty timeline for window search");
+  }
+  if (options_.min_window_width <= 0 ||
+      options_.min_window_width > options_.max_window_width) {
+    return Status::InvalidArgument("invalid window width bounds");
+  }
+
+  WindowSearchResult result;
+  std::set<std::string> seen_keys;      // reported patterns
+  std::set<std::string> rejected_keys;  // validation-rejected artifacts
+
+  Timestamp width = options_.min_window_width;
+  double threshold = options_.initial_threshold;
+  // Alternation state: next refinement step widens the window (true) or
+  // lowers the threshold (false).
+  bool widen_next = true;
+  // Quiet-round counter for the early-termination patience (see
+  // WindowSearchOptions::refine_patience).
+  size_t quiet_rounds = 0;
+
+  // Validation probes (tightening spans, leverage sub-pattern frequencies)
+  // are threshold-independent, so one memoizing evaluator serves all rounds.
+  PatternMiner probe_miner(registry_, store_, options_.miner);
+  FreqEvaluator freq_of(&probe_miner, seed_type);
+  const size_t seed_count = registry_->CountEntitiesOfType(seed_type);
+
+  // Context cache: re-examining the same window at a lower threshold reuses
+  // the cached realization tables (the paper's caching optimization).
+  // Invalidated whenever the window grid changes.
+  std::map<std::pair<Timestamp, Timestamp>,
+           std::shared_ptr<MiningContext>> context_cache;
+  Timestamp cached_width = -1;
+
+  for (size_t round = 0; round < options_.max_rounds; ++round) {
+    Timer round_timer;
+    MinerOptions miner_options = options_.miner;
+    miner_options.frequency_threshold = threshold;
+    PatternMiner miner(registry_, store_, miner_options);
+
+    std::vector<TimeWindow> windows =
+        SplitTimeline(timeline_begin, timeline_end, width);
+    if (width != cached_width) {
+      context_cache.clear();
+      cached_width = width;
+    }
+
+    // Frequent-patterns stage, one task per window (§4.3 parallelism).
+    std::vector<Result<MineWindowResult>> window_results(
+        windows.size(), Result<MineWindowResult>(Status::Internal("not run")));
+    if (options_.num_threads > 1 && windows.size() > 1) {
+      ThreadPool pool(options_.num_threads);
+      pool.ParallelFor(windows.size(), [&](size_t i) {
+        auto it = context_cache.find({windows[i].begin, windows[i].end});
+        window_results[i] = miner.MineWindow(
+            seed_type, windows[i],
+            it == context_cache.end() ? nullptr : it->second);
+      });
+    } else {
+      for (size_t i = 0; i < windows.size(); ++i) {
+        auto it = context_cache.find({windows[i].begin, windows[i].end});
+        window_results[i] = miner.MineWindow(
+            seed_type, windows[i],
+            it == context_cache.end() ? nullptr : it->second);
+      }
+    }
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (window_results[i].ok()) {
+        context_cache[{windows[i].begin, windows[i].end}] =
+            window_results[i].value().context;
+      }
+    }
+
+    size_t new_patterns = 0;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (!window_results[i].ok()) return window_results[i].status();
+      MineWindowResult& wr = window_results[i].value();
+      result.total_stats.Accumulate(wr.stats);
+
+      // Validation interleaves with most-specific selection: when a
+      // most-specific pattern turns out to be an artifact (e.g. a
+      // conjunction of two unrelated events that happened to dominate both),
+      // it is removed from the pool and the genuine generalizations it was
+      // shadowing get their turn.
+      std::vector<MinedPattern> pool;
+      for (MinedPattern& mp : wr.all_frequent) {
+        if (rejected_keys.count(mp.pattern.CanonicalKey()) == 0) {
+          pool.push_back(std::move(mp));
+        }
+      }
+      const TypeTaxonomy& taxonomy = registry_->taxonomy();
+
+      // Domination graph, built once per window: dominated_by[i] counts the
+      // strictly-more-specific pool members shadowing i; dominates[j] lists
+      // what j shadows, so a rejection releases its generalizations without
+      // an O(n^2) rescan. A cheap (op, relation) multiset prefilter skips
+      // most of the quadratic embedding checks.
+      const size_t n = pool.size();
+      auto signature = [](const Pattern& p) {
+        std::vector<std::string> sig;
+        for (const AbstractAction& a : p.actions()) {
+          sig.push_back((a.op == EditOp::kAdd ? "+" : "-") + a.relation);
+        }
+        std::sort(sig.begin(), sig.end());
+        return sig;
+      };
+      std::vector<std::vector<std::string>> sigs(n);
+      for (size_t i = 0; i < n; ++i) sigs[i] = signature(pool[i].pattern);
+      std::vector<size_t> dominated_by(n, 0);
+      std::vector<std::vector<size_t>> dominates(n);
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t i = 0; i < n; ++i) {
+          if (i == j) continue;
+          if (sigs[j].size() < sigs[i].size()) continue;
+          if (!std::includes(sigs[j].begin(), sigs[j].end(), sigs[i].begin(),
+                             sigs[i].end())) {
+            continue;
+          }
+          if (IsStrictSpecializationOf(pool[j].pattern, pool[i].pattern,
+                                       taxonomy)) {
+            ++dominated_by[i];
+            dominates[j].push_back(i);
+          }
+        }
+      }
+
+      std::vector<size_t> ready;
+      std::vector<char> processed(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (dominated_by[i] == 0) ready.push_back(i);
+      }
+      while (!ready.empty()) {
+        size_t pi = ready.back();
+        ready.pop_back();
+        if (processed[pi]) continue;
+        processed[pi] = 1;
+        MinedPattern& mp = pool[pi];
+        std::string key = mp.pattern.CanonicalKey();
+        if (seen_keys.count(key) > 0) continue;  // already reported
+
+        // Validate this most-specific candidate.
+        bool genuine = true;
+        if (options_.subwindow_validation &&
+            mp.window.width() > options_.min_window_width) {
+          WICLEAN_ASSIGN_OR_RETURN(
+              genuine,
+              TightenWindow(probe_miner, seed_type, seed_count,
+                            options_.min_window_width,
+                            options_.subwindow_support_fraction,
+                            options_.max_pattern_window, threshold, &mp));
+        }
+        if (genuine && options_.leverage_validation &&
+            mp.pattern.num_actions() > 1) {
+          WICLEAN_ASSIGN_OR_RETURN(
+              genuine,
+              PassesLeverage(freq_of, options_.min_partition_phi, mp));
+        }
+        if (!genuine) {
+          rejected_keys.insert(std::move(key));
+          // Release the generalizations this artifact was shadowing.
+          for (size_t freed : dominates[pi]) {
+            if (--dominated_by[freed] == 0 && !processed[freed]) {
+              ready.push_back(freed);
+            }
+          }
+          continue;
+        }
+
+        seen_keys.insert(std::move(key));
+        ++new_patterns;
+        DiscoveredPattern dp;
+        dp.window_width = width;
+        dp.threshold = threshold;
+        // Relative frequent patterns stage (Algorithm 2, lines 13-14).
+        if (options_.mine_relative) {
+          WICLEAN_ASSIGN_OR_RETURN(
+              dp.relatives,
+              miner.MineRelative(wr.context.get(), seed_type, mp,
+                                 options_.relative_threshold));
+        }
+        dp.mined = mp;
+        result.patterns.push_back(std::move(dp));
+      }
+    }
+
+    result.rounds.push_back(RefinementRound{width, threshold, new_patterns,
+                                            round_timer.ElapsedSeconds()});
+
+    // Refinement (§4.3): keep refining while refinement keeps discovering
+    // new patterns (or while nothing at all was found), within the parameter
+    // bounds and the early-termination patience.
+    quiet_rounds = new_patterns > 0 ? 0 : quiet_rounds + 1;
+    if (quiet_rounds >= options_.refine_patience && !result.patterns.empty()) {
+      break;
+    }
+
+    // Apply the alternating policy; skip a step that cannot change its
+    // parameter (at its bound or a no-op multiplier/reduction) and try the
+    // other parameter instead. Stop when neither can move.
+    bool changed = false;
+    for (int attempt = 0; attempt < 2 && !changed; ++attempt) {
+      if (widen_next) {
+        Timestamp new_width = static_cast<Timestamp>(
+            std::llround(static_cast<double>(width) *
+                         options_.refine.window_multiplier));
+        new_width = std::min(new_width, options_.max_window_width);
+        if (new_width > width) {
+          width = new_width;
+          changed = true;
+        }
+      } else {
+        double new_threshold =
+            threshold * (1.0 - options_.refine.threshold_reduction);
+        new_threshold = std::max(new_threshold, options_.min_threshold);
+        if (new_threshold < threshold) {
+          threshold = new_threshold;
+          changed = true;
+        }
+      }
+      widen_next = !widen_next;
+    }
+    if (!changed) break;  // both parameters exhausted
+  }
+  return result;
+}
+
+}  // namespace wiclean

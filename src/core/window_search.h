@@ -1,0 +1,149 @@
+#ifndef WICLEAN_CORE_WINDOW_SEARCH_H_
+#define WICLEAN_CORE_WINDOW_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/miner.h"
+#include "graph/entity_registry.h"
+#include "revision/revision_store.h"
+
+namespace wiclean {
+
+/// The parameter-refinement policy of Algorithm 2 (§4.3 and Table 1): between
+/// rounds, alternately multiply the window width by `window_multiplier` and
+/// reduce the frequency threshold by `threshold_reduction` (a fraction). The
+/// paper's grid search selected (2.0, 0.2).
+struct RefinePolicy {
+  double window_multiplier = 2.0;
+  double threshold_reduction = 0.2;
+};
+
+/// Options of the full window-and-pattern search.
+struct WindowSearchOptions {
+  /// Initial (minimal) window width; the system default is two weeks.
+  Timestamp min_window_width = 2 * kSecondsPerWeek;
+  /// Window widths never exceed one year.
+  Timestamp max_window_width = kSecondsPerYear;
+  /// Initial frequency threshold (paper default 0.7; 0.8 in the quality
+  /// experiments) and its floor.
+  double initial_threshold = 0.7;
+  double min_threshold = 0.2;
+
+  RefinePolicy refine;
+  MinerOptions miner;
+
+  /// Stage 2: relative-pattern mining threshold (Definition 3.5); set
+  /// mine_relative to false to skip the stage.
+  bool mine_relative = true;
+  double relative_threshold = 0.5;
+
+  /// Window tightening / validation. A pattern first discovered at a widened
+  /// window is re-localized: as long as some half-width sliding sub-window
+  /// retains at least `subwindow_support_fraction` of the current frequency,
+  /// the pattern's window shrinks to the best sub-window (down to the minimal
+  /// width). The pattern is accepted only if its frequency in the final
+  /// tight window still clears the discovery threshold. This (a) rejects
+  /// window artifacts — conjunctions of independent events that only
+  /// "co-occur" because the window grew past both — and (b) reports each
+  /// pattern with its actual time window rather than the coarse ladder
+  /// window.
+  /// The support fraction is above 0.5 so that a genuinely wide pattern —
+  /// events uniform over its true window, each half holding about half the
+  /// support — *stalls* (and is reported at its real width) instead of being
+  /// squeezed into a half-window and failing the threshold re-check.
+  bool subwindow_validation = true;
+  double subwindow_support_fraction = 0.6;
+
+  /// A pattern whose realizations cannot be localized into a window of at
+  /// most this width is rejected: the paper's genuine patterns live in
+  /// windows of "hours to months", while conjunctions of unrelated events
+  /// glued through a shared non-seed entity (which the leverage test cannot
+  /// split) only co-occur across the whole timeline.
+  Timestamp max_pattern_window = 8 * kSecondsPerWeek;
+
+  /// Partition-correlation validation: for every way of splitting a
+  /// discovered pattern into two source-connected sub-patterns A and B, the
+  /// phi coefficient between "seed realizes A" and "seed realizes B" must
+  /// reach this bound. Conjunctions of *independent* events (a player who
+  /// happened to both win an award and be loaned out in the same window) sit
+  /// at phi ≈ 0 and are rejected; real patterns are near-perfectly
+  /// correlated (all edits come from the same real-world event, phi ≈ 1).
+  /// Phi, unlike raw leverage, stays discriminative for high-frequency
+  /// patterns whose leverage ceiling is compressed.
+  bool leverage_validation = true;
+  double min_partition_phi = 0.5;
+
+  /// Windows are processed in parallel on this many threads (§4.3: windows
+  /// are non-overlapping, so processing is embarrassingly parallel).
+  size_t num_threads = 1;
+
+  /// Early-termination patience: the search stops once this many consecutive
+  /// refinement rounds discover nothing new (and something has been found).
+  /// The default covers two full window+threshold alternation cycles, so one
+  /// quiet parameter step does not cut the ladder short; Table 1's
+  /// small-step policies terminate early through exactly this mechanism.
+  size_t refine_patience = 4;
+
+  /// Safety valve against degenerate refine policies.
+  size_t max_rounds = 20;
+};
+
+/// One pattern discovered by the search, with the parameters that found it.
+struct DiscoveredPattern {
+  MinedPattern mined;
+  Timestamp window_width = 0;  // the W of the round that discovered it
+  double threshold = 0;        // the tau of that round
+  std::vector<RelativePattern> relatives;
+};
+
+/// Telemetry for one refinement round.
+struct RefinementRound {
+  Timestamp window_width = 0;
+  double threshold = 0;
+  size_t new_patterns = 0;
+  double seconds = 0;
+};
+
+/// Output of WindowSearch::Run.
+struct WindowSearchResult {
+  /// Discovered most-specific patterns, deduplicated by canonical key across
+  /// rounds (first discovery wins, i.e. the tightest window / highest
+  /// threshold).
+  std::vector<DiscoveredPattern> patterns;
+  std::vector<RefinementRound> rounds;
+  MineWindowStats total_stats;
+};
+
+/// Algorithm 2: splits the timeline into non-overlapping windows of the
+/// current width, mines every window (in parallel), and iteratively refines
+/// (window width, threshold) while refinement keeps discovering new patterns,
+/// within the configured bounds.
+class WindowSearch {
+ public:
+  /// `registry` and `store` must outlive the search object.
+  WindowSearch(const EntityRegistry* registry, const RevisionStore* store,
+               WindowSearchOptions options);
+
+  const WindowSearchOptions& options() const { return options_; }
+
+  /// Runs the search for seed type `seed_type` over the timeline
+  /// [timeline_begin, timeline_end).
+  Result<WindowSearchResult> Run(TypeId seed_type, Timestamp timeline_begin,
+                                 Timestamp timeline_end) const;
+
+  /// Convenience for users unfamiliar with the type hierarchy (Algorithm 2,
+  /// lines 1-2): derives the seed type from a seed entity.
+  Result<WindowSearchResult> RunForSeedEntity(EntityId seed_entity,
+                                              Timestamp timeline_begin,
+                                              Timestamp timeline_end) const;
+
+ private:
+  const EntityRegistry* registry_;
+  const RevisionStore* store_;
+  WindowSearchOptions options_;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_CORE_WINDOW_SEARCH_H_

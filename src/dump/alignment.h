@@ -1,0 +1,45 @@
+#ifndef WICLEAN_DUMP_ALIGNMENT_H_
+#define WICLEAN_DUMP_ALIGNMENT_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "common/result.h"
+#include "graph/entity_registry.h"
+#include "taxonomy/taxonomy.h"
+
+namespace wiclean {
+
+/// TSV serialization of the type taxonomy and the entity-type alignment —
+/// the file-based stand-in for the paper's DBPedia alignment, consumed by
+/// the command-line tool.
+///
+/// Taxonomy format (one type per line, parents before children, '#' starts a
+/// comment line; the first type is the root and has no parent column):
+///
+///   thing
+///   agent\tthing
+///   person\tagent
+///
+/// Alignment format (one entity per line):
+///
+///   Neymar\tsoccer_player
+
+/// Parses a taxonomy file. Errors carry the line number.
+Result<std::unique_ptr<TypeTaxonomy>> LoadTaxonomy(std::istream* in);
+
+/// Writes a taxonomy in the format LoadTaxonomy reads (parents first).
+void WriteTaxonomy(const TypeTaxonomy& taxonomy, std::ostream* out);
+
+/// Parses an alignment file into a registry bound to `taxonomy` (which must
+/// outlive the registry). Unknown types and duplicate titles are errors.
+Result<std::unique_ptr<EntityRegistry>> LoadAlignment(
+    std::istream* in, const TypeTaxonomy* taxonomy);
+
+/// Writes the registry's alignment in the format LoadAlignment reads.
+void WriteAlignment(const EntityRegistry& registry, std::ostream* out);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_DUMP_ALIGNMENT_H_

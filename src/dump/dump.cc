@@ -1,0 +1,197 @@
+#include "dump/dump.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "dump/xml_util.h"
+
+namespace wiclean {
+
+void DumpWriter::Begin() {
+  (*out_) << "<mediawiki>\n";
+  begun_ = true;
+}
+
+void DumpWriter::WritePage(const DumpPage& page) {
+  std::ostream& o = *out_;
+  o << "  <page>\n";
+  o << "    <title>" << XmlEscape(page.title) << "</title>\n";
+  o << "    <id>" << page.page_id << "</id>\n";
+  for (const DumpRevision& rev : page.revisions) {
+    o << "    <revision>\n";
+    o << "      <id>" << rev.revision_id << "</id>\n";
+    o << "      <timestamp>" << rev.timestamp << "</timestamp>\n";
+    o << "      <contributor><username>" << XmlEscape(rev.contributor)
+      << "</username></contributor>\n";
+    o << "      <comment>" << XmlEscape(rev.comment) << "</comment>\n";
+    o << "      <text>" << XmlEscape(rev.text) << "</text>\n";
+    o << "    </revision>\n";
+  }
+  o << "  </page>\n";
+}
+
+Status DumpWriter::End() {
+  (*out_) << "</mediawiki>\n";
+  out_->flush();
+  if (!out_->good()) return Status::Internal("dump stream write failed");
+  return Status::OK();
+}
+
+namespace {
+
+/// Minimal pull-style tokenizer over the reader's input stream. Tracks a
+/// cursor into a growing buffer; the buffer is compacted after each page so
+/// memory stays bounded by one page.
+class StreamCursor {
+ public:
+  explicit StreamCursor(std::istream* in) : in_(in) {}
+
+  /// Skips whitespace, then returns true iff the next bytes equal `token`
+  /// (consuming them).
+  bool Consume(std::string_view token) {
+    SkipWhitespace();
+    if (!Ensure(token.size())) return false;
+    if (std::string_view(buffer_).substr(pos_, token.size()) != token) {
+      return false;
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  /// Like Consume but required: returns Corruption naming the token.
+  Status Expect(std::string_view token) {
+    if (!Consume(token)) {
+      return Status::Corruption("dump parse error: expected '" +
+                                std::string(token) + "' near byte " +
+                                std::to_string(consumed_ + pos_));
+    }
+    return Status::OK();
+  }
+
+  /// Reads everything up to (not including) `delimiter`, consuming the
+  /// delimiter too. Corruption if the stream ends first.
+  Result<std::string> ReadUntil(std::string_view delimiter) {
+    for (;;) {
+      size_t hit = buffer_.find(delimiter, pos_);
+      if (hit != std::string::npos) {
+        std::string out = buffer_.substr(pos_, hit - pos_);
+        pos_ = hit + delimiter.size();
+        return out;
+      }
+      if (!Refill()) {
+        return Status::Corruption("dump parse error: unterminated element, "
+                                  "expected '" +
+                                  std::string(delimiter) + "'");
+      }
+    }
+  }
+
+  /// True when only whitespace remains.
+  bool AtEof() {
+    SkipWhitespace();
+    return pos_ >= buffer_.size() && !Refill();
+  }
+
+  /// Drops consumed bytes; call between pages to bound memory.
+  void Compact() {
+    consumed_ += pos_;
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+
+ private:
+  void SkipWhitespace() {
+    for (;;) {
+      while (pos_ < buffer_.size() &&
+             std::isspace(static_cast<unsigned char>(buffer_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < buffer_.size()) return;
+      if (!Refill()) return;
+    }
+  }
+
+  bool Ensure(size_t n) {
+    while (buffer_.size() - pos_ < n) {
+      if (!Refill()) return false;
+    }
+    return true;
+  }
+
+  bool Refill() {
+    char chunk[4096];
+    in_->read(chunk, sizeof(chunk));
+    std::streamsize got = in_->gcount();
+    if (got <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(got));
+    return true;
+  }
+
+  std::istream* in_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  size_t consumed_ = 0;  // bytes discarded by Compact, for error offsets
+};
+
+Result<int64_t> ParseXmlInt(StreamCursor* cur, std::string_view open,
+                            std::string_view close) {
+  WICLEAN_RETURN_IF_ERROR(cur->Expect(open));
+  WICLEAN_ASSIGN_OR_RETURN(std::string body, cur->ReadUntil(close));
+  WICLEAN_ASSIGN_OR_RETURN(int64_t value,
+                           ParseInt64(StripWhitespace(body)));
+  return value;
+}
+
+Result<DumpRevision> ParseRevision(StreamCursor* cur) {
+  DumpRevision rev;
+  WICLEAN_ASSIGN_OR_RETURN(rev.revision_id,
+                           ParseXmlInt(cur, "<id>", "</id>"));
+  WICLEAN_ASSIGN_OR_RETURN(rev.timestamp,
+                           ParseXmlInt(cur, "<timestamp>", "</timestamp>"));
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("<contributor><username>"));
+  WICLEAN_ASSIGN_OR_RETURN(std::string user, cur->ReadUntil("</username>"));
+  rev.contributor = XmlUnescape(user);
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("</contributor>"));
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("<comment>"));
+  WICLEAN_ASSIGN_OR_RETURN(std::string comment, cur->ReadUntil("</comment>"));
+  rev.comment = XmlUnescape(comment);
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("<text>"));
+  WICLEAN_ASSIGN_OR_RETURN(std::string text, cur->ReadUntil("</text>"));
+  rev.text = XmlUnescape(text);
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("</revision>"));
+  return rev;
+}
+
+Result<DumpPage> ParsePageElement(StreamCursor* cur) {
+  DumpPage page;
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("<title>"));
+  WICLEAN_ASSIGN_OR_RETURN(std::string title, cur->ReadUntil("</title>"));
+  page.title = XmlUnescape(title);
+  WICLEAN_ASSIGN_OR_RETURN(page.page_id, ParseXmlInt(cur, "<id>", "</id>"));
+  while (cur->Consume("<revision>")) {
+    WICLEAN_ASSIGN_OR_RETURN(DumpRevision rev, ParseRevision(cur));
+    page.revisions.push_back(std::move(rev));
+  }
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("</page>"));
+  return page;
+}
+
+}  // namespace
+
+Status DumpReader::ReadAll(std::istream* in, const PageCallback& on_page) {
+  StreamCursor cur(in);
+  WICLEAN_RETURN_IF_ERROR(cur.Expect("<mediawiki>"));
+  for (;;) {
+    if (cur.Consume("</mediawiki>")) break;
+    WICLEAN_RETURN_IF_ERROR(cur.Expect("<page>"));
+    WICLEAN_ASSIGN_OR_RETURN(DumpPage page, ParsePageElement(&cur));
+    WICLEAN_RETURN_IF_ERROR(on_page(page));
+    cur.Compact();
+  }
+  if (!cur.AtEof()) {
+    return Status::Corruption("trailing content after </mediawiki>");
+  }
+  return Status::OK();
+}
+
+}  // namespace wiclean

@@ -1,0 +1,80 @@
+#ifndef WICLEAN_DUMP_DUMP_H_
+#define WICLEAN_DUMP_DUMP_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "revision/action.h"
+
+namespace wiclean {
+
+/// One page revision as stored in a dump: the *full page text* at that point
+/// in time, MediaWiki-style. (This is precisely what makes Wikipedia history
+/// processing awkward — link edits must be recovered by diffing consecutive
+/// full texts, which IngestDump below does.)
+struct DumpRevision {
+  int64_t revision_id = 0;
+  Timestamp timestamp = 0;
+  std::string contributor;
+  std::string comment;
+  std::string text;  // raw wikitext
+};
+
+/// One page with its chronological revision list.
+struct DumpPage {
+  std::string title;
+  int64_t page_id = 0;
+  std::vector<DumpRevision> revisions;
+};
+
+/// Serializes pages into a MediaWiki-export-style XML stream:
+///
+///   <mediawiki>
+///     <page>
+///       <title>Neymar</title> <id>7</id>
+///       <revision>
+///         <id>1</id> <timestamp>1531</timestamp>
+///         <contributor><username>u</username></contributor>
+///         <comment>c</comment> <text>{{Infobox ...}}</text>
+///       </revision>
+///       ...
+///     </page>
+///   </mediawiki>
+///
+/// Usage: Begin(), WritePage() per page, End(). Text is XML-escaped.
+class DumpWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit DumpWriter(std::ostream* out) : out_(out) {}
+
+  void Begin();
+  void WritePage(const DumpPage& page);
+  Status End();  // flushes; reports stream failure as Internal
+
+ private:
+  std::ostream* out_;
+  bool begun_ = false;
+};
+
+/// Streaming dump reader: parses one <page> element at a time and hands it to
+/// a callback, keeping memory proportional to a single page rather than the
+/// dump. The parser accepts the subset of XML that DumpWriter emits (plus
+/// arbitrary whitespace) and reports malformed input as Corruption with a
+/// description of what was expected.
+class DumpReader {
+ public:
+  using PageCallback = std::function<Status(const DumpPage&)>;
+
+  /// Reads the whole stream; invokes `on_page` for every page in order. Stops
+  /// at the first parse error or the first non-OK callback status.
+  static Status ReadAll(std::istream* in, const PageCallback& on_page);
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_DUMP_DUMP_H_

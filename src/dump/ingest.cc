@@ -1,0 +1,69 @@
+#include "dump/ingest.h"
+
+#include "wikitext/infobox.h"
+
+namespace wiclean {
+
+std::string IngestStats::ToString() const {
+  return "pages=" + std::to_string(pages) +
+         " revisions=" + std::to_string(revisions) +
+         " actions=" + std::to_string(actions) +
+         " unknown_pages=" + std::to_string(unknown_pages) +
+         " unresolved_links=" + std::to_string(unresolved_links);
+}
+
+Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
+                  RevisionStore* store, const IngestOptions& options,
+                  IngestStats* stats) {
+  Result<EntityId> subject = registry.FindByName(page.title);
+  if (!subject.ok()) {
+    if (options.strict_pages) {
+      return Status::NotFound("dump page '" + page.title +
+                              "' is not a registered entity");
+    }
+    ++stats->unknown_pages;
+    return Status::OK();
+  }
+
+  ++stats->pages;
+  std::string previous_text;  // first revision diffs against the empty page
+  for (const DumpRevision& rev : page.revisions) {
+    ++stats->revisions;
+    WICLEAN_ASSIGN_OR_RETURN(LinkDelta delta,
+                             DiffRevisions(previous_text, rev.text));
+    auto emit = [&](EditOp op, const InfoboxLink& link) {
+      Result<EntityId> object = registry.FindByName(link.target_title);
+      if (!object.ok()) {
+        ++stats->unresolved_links;
+        return;
+      }
+      Action action;
+      action.op = op;
+      action.subject = subject.value();
+      action.relation = link.relation;
+      action.object = object.value();
+      action.time = rev.timestamp;
+      store->Add(std::move(action));
+      ++stats->actions;
+    };
+    for (const InfoboxLink& link : delta.removed) emit(EditOp::kRemove, link);
+    for (const InfoboxLink& link : delta.added) emit(EditOp::kAdd, link);
+    previous_text = rev.text;
+  }
+  return Status::OK();
+}
+
+Result<IngestStats> IngestDump(std::istream* in,
+                               const EntityRegistry& registry,
+                               RevisionStore* store,
+                               const IngestOptions& options) {
+  IngestStats stats;
+  Status status =
+      DumpReader::ReadAll(in, [&](const DumpPage& page) -> Status {
+        return IngestPage(page, registry, store, options, &stats);
+      });
+  if (!status.ok()) return status;
+  return stats;
+}
+
+}  // namespace wiclean

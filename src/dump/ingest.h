@@ -1,0 +1,55 @@
+#ifndef WICLEAN_DUMP_INGEST_H_
+#define WICLEAN_DUMP_INGEST_H_
+
+#include <istream>
+#include <string>
+
+#include "common/result.h"
+#include "dump/dump.h"
+#include "graph/entity_registry.h"
+#include "revision/revision_store.h"
+
+namespace wiclean {
+
+/// Counters describing one ingestion run; the preprocessing half of the
+/// Fig 4 timing columns comes from timing this step.
+struct IngestStats {
+  size_t pages = 0;
+  size_t revisions = 0;
+  size_t actions = 0;           // link edits recovered by diffing
+  size_t unknown_pages = 0;     // pages whose title is not registered
+  size_t unresolved_links = 0;  // link targets not registered (skipped)
+
+  std::string ToString() const;
+};
+
+/// Options controlling ingestion strictness.
+struct IngestOptions {
+  /// When true, an unregistered page title aborts with NotFound; when false
+  /// (default) the page is skipped and counted in unknown_pages. Link targets
+  /// that do not resolve are always skipped and counted — real dumps link to
+  /// plenty of articles outside any entity alignment.
+  bool strict_pages = false;
+};
+
+/// Replays a dump into a RevisionStore: for every page, consecutive revision
+/// texts are diffed (the first against the empty page) and each added/removed
+/// infobox link becomes an Action timestamped with the newer revision.
+///
+/// This is the paper's crawl-and-parse preprocessing step (§6.1/§6.2): the
+/// revision history arrives as full page texts, and the structured edit log
+/// must be reconstructed by parsing and diffing.
+Result<IngestStats> IngestDump(std::istream* in,
+                               const EntityRegistry& registry,
+                               RevisionStore* store,
+                               const IngestOptions& options = {});
+
+/// Ingests a single already-parsed page (used by IngestDump and directly by
+/// tests). Appends recovered actions to `store` and updates `stats`.
+Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
+                  RevisionStore* store, const IngestOptions& options,
+                  IngestStats* stats);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_DUMP_INGEST_H_

@@ -1,0 +1,59 @@
+#include "dump/xml_util.h"
+
+#include "common/strings.h"
+
+namespace wiclean {
+
+std::string XmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlUnescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    if (StartsWith(text.substr(i), "&amp;")) {
+      out += '&';
+      i += 5;
+    } else if (StartsWith(text.substr(i), "&lt;")) {
+      out += '<';
+      i += 4;
+    } else if (StartsWith(text.substr(i), "&gt;")) {
+      out += '>';
+      i += 4;
+    } else if (StartsWith(text.substr(i), "&quot;")) {
+      out += '"';
+      i += 6;
+    } else {
+      out += text[i++];  // unknown entity: pass through
+    }
+  }
+  return out;
+}
+
+}  // namespace wiclean

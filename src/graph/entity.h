@@ -1,0 +1,27 @@
+#ifndef WICLEAN_GRAPH_ENTITY_H_
+#define WICLEAN_GRAPH_ENTITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "taxonomy/taxonomy.h"
+
+namespace wiclean {
+
+/// Dense identifier of a Wikipedia entity (article).
+using EntityId = int64_t;
+
+inline constexpr EntityId kInvalidEntityId = -1;
+
+/// A Wikipedia entity: a uniquely named article with one most-specific type
+/// from the taxonomy (§3: "we assume that each entity e has one most specific
+/// type to which it belongs and use it as its label").
+struct Entity {
+  EntityId id = kInvalidEntityId;
+  std::string name;          // article title, e.g. "Neymar"
+  TypeId type = kInvalidTypeId;  // most-specific type, e.g. soccer_player
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_GRAPH_ENTITY_H_

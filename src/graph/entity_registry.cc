@@ -1,0 +1,47 @@
+#include "graph/entity_registry.h"
+
+namespace wiclean {
+
+Result<EntityId> EntityRegistry::Register(std::string name, TypeId type) {
+  if (!taxonomy_->IsValid(type)) {
+    return Status::InvalidArgument("unknown type id for entity '" + name +
+                                   "'");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("entity '" + name + "' already registered");
+  }
+  EntityId id = static_cast<EntityId>(entities_.size());
+  entities_.push_back(Entity{id, name, type});
+  by_exact_type_[type].push_back(id);
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+Result<EntityId> EntityRegistry::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown entity '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::vector<EntityId> EntityRegistry::EntitiesOfType(TypeId t) const {
+  std::vector<EntityId> out;
+  for (TypeId sub : taxonomy_->DescendantsOf(t)) {
+    auto it = by_exact_type_.find(sub);
+    if (it == by_exact_type_.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+size_t EntityRegistry::CountEntitiesOfType(TypeId t) const {
+  size_t n = 0;
+  for (TypeId sub : taxonomy_->DescendantsOf(t)) {
+    auto it = by_exact_type_.find(sub);
+    if (it != by_exact_type_.end()) n += it->second.size();
+  }
+  return n;
+}
+
+}  // namespace wiclean

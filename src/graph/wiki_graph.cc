@@ -1,0 +1,55 @@
+#include "graph/wiki_graph.h"
+
+#include "common/result.h"
+#include "common/strings.h"
+
+namespace wiclean {
+
+std::string WikiGraph::EdgeKey(const std::string& relation, EntityId target) {
+  std::string key = relation;
+  key.push_back('\0');
+  key += std::to_string(target);
+  return key;
+}
+
+bool WikiGraph::AddEdge(EntityId source, const std::string& relation,
+                        EntityId target) {
+  bool inserted = out_[source].insert(EdgeKey(relation, target)).second;
+  if (inserted) ++num_edges_;
+  return inserted;
+}
+
+bool WikiGraph::RemoveEdge(EntityId source, const std::string& relation,
+                           EntityId target) {
+  auto it = out_.find(source);
+  if (it == out_.end()) return false;
+  bool removed = it->second.erase(EdgeKey(relation, target)) > 0;
+  if (removed) --num_edges_;
+  return removed;
+}
+
+bool WikiGraph::HasEdge(EntityId source, const std::string& relation,
+                        EntityId target) const {
+  auto it = out_.find(source);
+  if (it == out_.end()) return false;
+  return it->second.count(EdgeKey(relation, target)) > 0;
+}
+
+std::vector<Edge> WikiGraph::OutEdges(EntityId source) const {
+  std::vector<Edge> edges;
+  auto it = out_.find(source);
+  if (it == out_.end()) return edges;
+  edges.reserve(it->second.size());
+  for (const std::string& key : it->second) {
+    size_t sep = key.find('\0');
+    Edge e;
+    e.source = source;
+    e.relation = key.substr(0, sep);
+    // Keys are produced by EdgeKey, so the id part always parses.
+    e.target = ParseInt64(key.substr(sep + 1)).value_or(kInvalidEntityId);
+    edges.push_back(std::move(e));
+  }
+  return edges;
+}
+
+}  // namespace wiclean

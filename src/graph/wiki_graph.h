@@ -1,0 +1,62 @@
+#ifndef WICLEAN_GRAPH_WIKI_GRAPH_H_
+#define WICLEAN_GRAPH_WIKI_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/entity.h"
+
+namespace wiclean {
+
+/// A labeled directed edge of the Wikipedia graph: an interlink from article
+/// `source` to article `target` with relation label `relation` (e.g.
+/// Neymar --current_club--> PSG).
+struct Edge {
+  EntityId source = kInvalidEntityId;
+  std::string relation;
+  EntityId target = kInvalidEntityId;
+
+  bool operator==(const Edge& other) const {
+    return source == other.source && relation == other.relation &&
+           target == other.target;
+  }
+};
+
+/// Snapshot of the entity-relation graph G(V, E) at a point in time (§3).
+/// Nodes are entities (owned by an EntityRegistry); this class stores only
+/// the labeled edge set, keyed by source — mirroring Wikipedia, where each
+/// article's revision history records edits to its *outgoing* links.
+class WikiGraph {
+ public:
+  WikiGraph() = default;
+
+  /// Adds the edge if absent; returns true if it was inserted.
+  bool AddEdge(EntityId source, const std::string& relation, EntityId target);
+
+  /// Removes the edge if present; returns true if it was removed.
+  bool RemoveEdge(EntityId source, const std::string& relation,
+                  EntityId target);
+
+  bool HasEdge(EntityId source, const std::string& relation,
+               EntityId target) const;
+
+  /// All outgoing edges of `source` (order unspecified).
+  std::vector<Edge> OutEdges(EntityId source) const;
+
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  // source -> set of "relation\0target" keys. Encoding keeps lookup O(1)
+  // without a custom hasher for (string, id) pairs.
+  static std::string EdgeKey(const std::string& relation, EntityId target);
+
+  std::unordered_map<EntityId, std::unordered_set<std::string>> out_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_GRAPH_WIKI_GRAPH_H_

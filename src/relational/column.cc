@@ -1,0 +1,32 @@
+#include "relational/column.h"
+
+namespace wiclean::relational {
+
+void Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+  } else if (v.is_int64()) {
+    AppendInt64(v.int64());
+  } else {
+    AppendString(v.string());
+  }
+}
+
+void Column::AppendFrom(const Column& other, size_t row) {
+  WICLEAN_CHECK(type_ == other.type_);
+  if (other.IsNull(row)) {
+    AppendNull();
+  } else if (type_ == DataType::kInt64) {
+    AppendInt64(other.ints_[row]);
+  } else {
+    AppendString(other.strings_[row]);
+  }
+}
+
+Value Column::ValueAt(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  if (type_ == DataType::kInt64) return Value::Int64(ints_[row]);
+  return Value::String(strings_[row]);
+}
+
+}  // namespace wiclean::relational

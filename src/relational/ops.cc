@@ -1,0 +1,356 @@
+#include "relational/ops.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace wiclean::relational {
+namespace {
+
+// Hash of one cell; nulls get a fixed sentinel (they never *match*, but they
+// must hash consistently for dedup).
+uint64_t CellHash(const Column& col, size_t row) {
+  if (col.IsNull(row)) return 0x9ae16a3b2f90404fULL;
+  if (col.type() == DataType::kInt64) {
+    uint64_t x = static_cast<uint64_t>(col.Int64At(row));
+    // splitmix-style finalizer for avalanche on small ids.
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  return Fnv1a64(col.StringAt(row));
+}
+
+// SQL equality of two cells (false when either is null).
+bool CellsSqlEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
+  if (a.IsNull(ra) || b.IsNull(rb)) return false;
+  if (a.type() != b.type()) return false;
+  if (a.type() == DataType::kInt64) return a.Int64At(ra) == b.Int64At(rb);
+  return a.StringAt(ra) == b.StringAt(rb);
+}
+
+// Structural equality (null == null); for dedup keys.
+bool CellsStructEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
+  bool an = a.IsNull(ra), bn = b.IsNull(rb);
+  if (an || bn) return an && bn;
+  return CellsSqlEqual(a, ra, b, rb);
+}
+
+Status ValidateSpec(const Table& left, const Table& right,
+                    const JoinSpec& spec) {
+  auto check_pair = [&](const std::pair<size_t, size_t>& p,
+                        const char* kind) -> Status {
+    if (p.first >= left.num_columns() || p.second >= right.num_columns()) {
+      return Status::InvalidArgument(std::string(kind) +
+                                     " column index out of range");
+    }
+    if (left.column(p.first).type() != right.column(p.second).type()) {
+      return Status::InvalidArgument(std::string(kind) +
+                                     " columns have mismatched types");
+    }
+    return Status::OK();
+  };
+  for (const auto& p : spec.equal_cols) {
+    WICLEAN_RETURN_IF_ERROR(check_pair(p, "equality"));
+  }
+  for (const auto& p : spec.not_equal_cols) {
+    WICLEAN_RETURN_IF_ERROR(check_pair(p, "inequality"));
+  }
+  for (const auto& p : spec.wildcard_equal_cols) {
+    WICLEAN_RETURN_IF_ERROR(check_pair(p, "wildcard equality"));
+  }
+  return Status::OK();
+}
+
+// True iff the row pair satisfies the whole JoinSpec.
+bool PairMatches(const Table& left, size_t lrow, const Table& right,
+                 size_t rrow, const JoinSpec& spec) {
+  for (const auto& [lc, rc] : spec.equal_cols) {
+    if (!CellsSqlEqual(left.column(lc), lrow, right.column(rc), rrow)) {
+      return false;
+    }
+  }
+  for (const auto& [lc, rc] : spec.wildcard_equal_cols) {
+    const Column& a = left.column(lc);
+    const Column& b = right.column(rc);
+    if (a.IsNull(lrow) || b.IsNull(rrow)) continue;  // wildcard: null matches
+    if (!CellsSqlEqual(a, lrow, b, rrow)) return false;
+  }
+  for (const auto& [lc, rc] : spec.not_equal_cols) {
+    const Column& a = left.column(lc);
+    const Column& b = right.column(rc);
+    if (a.IsNull(lrow) || b.IsNull(rrow)) {
+      // Unknown comparison: SQL semantics reject the pair; the null-tolerant
+      // mode (Algorithm 3) lets "not provably equal" pass.
+      if (!spec.null_inequality_passes) return false;
+      continue;
+    }
+    if (CellsSqlEqual(a, lrow, b, rrow)) return false;
+  }
+  return true;
+}
+
+uint64_t RowKeyHash(const Table& t, size_t row, const std::vector<size_t>& cols) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t c : cols) h = HashCombine(h, CellHash(t.column(c), row));
+  return h;
+}
+
+// Hash-join core shared by inner and full-outer variants. `track_matches`
+// enables recording which rows on each side matched (for outer padding).
+struct HashJoinResult {
+  Table output;
+  std::vector<uint8_t> left_matched;
+  std::vector<uint8_t> right_matched;
+};
+
+Result<HashJoinResult> HashJoinCore(const Table& left, const Table& right,
+                                    const JoinSpec& spec, bool track_matches) {
+  WICLEAN_RETURN_IF_ERROR(ValidateSpec(left, right, spec));
+  if (spec.equal_cols.empty()) {
+    return Status::InvalidArgument(
+        "HashJoin requires at least one equality column pair");
+  }
+
+  std::vector<size_t> lkeys, rkeys;
+  for (const auto& [lc, rc] : spec.equal_cols) {
+    lkeys.push_back(lc);
+    rkeys.push_back(rc);
+  }
+
+  // Build on the right input: hash(keys) -> row indices.
+  std::unordered_multimap<uint64_t, size_t> build;
+  build.reserve(right.num_rows() * 2);
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    // Rows with a null key can never match; skip them in the build so probes
+    // stay cheap. They are still padded by the outer variant via
+    // right_matched.
+    bool has_null_key = false;
+    for (size_t c : rkeys) {
+      if (right.column(c).IsNull(r)) {
+        has_null_key = true;
+        break;
+      }
+    }
+    if (!has_null_key) build.emplace(RowKeyHash(right, r, rkeys), r);
+  }
+
+  HashJoinResult result{Table(ConcatSchemas(left.schema(), right.schema())),
+                        {},
+                        {}};
+  if (track_matches) {
+    result.left_matched.assign(left.num_rows(), 0);
+    result.right_matched.assign(right.num_rows(), 0);
+  }
+
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    uint64_t h = RowKeyHash(left, l, lkeys);
+    auto [lo, hi] = build.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      size_t r = it->second;
+      if (!PairMatches(left, l, right, r, spec)) continue;
+      result.output.AppendConcatRows(left, l, right, r);
+      if (track_matches) {
+        result.left_matched[l] = 1;
+        result.right_matched[r] = 1;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const JoinSpec& spec) {
+  WICLEAN_ASSIGN_OR_RETURN(HashJoinResult core,
+                           HashJoinCore(left, right, spec, false));
+  return std::move(core.output);
+}
+
+Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+                             const JoinSpec& spec) {
+  WICLEAN_RETURN_IF_ERROR(ValidateSpec(left, right, spec));
+  Table out(ConcatSchemas(left.schema(), right.schema()));
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      if (PairMatches(left, l, right, r, spec)) {
+        out.AppendConcatRows(left, l, right, r);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Table> FullOuterJoin(const Table& left, const Table& right,
+                            const JoinSpec& spec) {
+  WICLEAN_RETURN_IF_ERROR(ValidateSpec(left, right, spec));
+
+  Table out(ConcatSchemas(left.schema(), right.schema()));
+  std::vector<uint8_t> left_matched(left.num_rows(), 0);
+  std::vector<uint8_t> right_matched(right.num_rows(), 0);
+
+  if (!spec.equal_cols.empty() && !spec.prefer_nested_loop) {
+    WICLEAN_ASSIGN_OR_RETURN(HashJoinResult core,
+                             HashJoinCore(left, right, spec, true));
+    out = std::move(core.output);
+    left_matched = std::move(core.left_matched);
+    right_matched = std::move(core.right_matched);
+  } else {
+    // Pure theta join: exhaustive pairing.
+    for (size_t l = 0; l < left.num_rows(); ++l) {
+      for (size_t r = 0; r < right.num_rows(); ++r) {
+        if (PairMatches(left, l, right, r, spec)) {
+          out.AppendConcatRows(left, l, right, r);
+          left_matched[l] = 1;
+          right_matched[r] = 1;
+        }
+      }
+    }
+  }
+
+  // Pad unmatched left rows with nulls on the right...
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    if (left_matched[l]) continue;
+    std::vector<Value> row = left.RowValues(l);
+    row.resize(out.num_columns(), Value::Null());
+    out.AppendRow(row);
+  }
+  // ...and unmatched right rows with nulls on the left.
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (right_matched[r]) continue;
+    std::vector<Value> row(left.num_columns(), Value::Null());
+    std::vector<Value> rvals = right.RowValues(r);
+    row.insert(row.end(), rvals.begin(), rvals.end());
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Table Filter(const Table& input,
+             const std::function<bool(const Table&, size_t)>& keep) {
+  Table out(input.schema());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    if (keep(input, r)) out.AppendRowFrom(input, r);
+  }
+  return out;
+}
+
+Table FilterRowsWithNull(const Table& input) {
+  return Filter(input,
+                [](const Table& t, size_t r) { return t.RowHasNull(r); });
+}
+
+namespace {
+
+Result<Schema> ProjectedSchema(const Table& input,
+                               const std::vector<size_t>& cols,
+                               const std::vector<std::string>& names) {
+  if (!names.empty() && names.size() != cols.size()) {
+    return Status::InvalidArgument("names/cols size mismatch in Project");
+  }
+  Schema schema;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] >= input.num_columns()) {
+      return Status::InvalidArgument("Project column index out of range");
+    }
+    const Field& f = input.schema().field(cols[i]);
+    schema.AddField(
+        Field{names.empty() ? f.name : names[i], f.type});
+  }
+  return schema;
+}
+
+}  // namespace
+
+Result<Table> Project(const Table& input, const std::vector<size_t>& cols,
+                      const std::vector<std::string>& names) {
+  WICLEAN_ASSIGN_OR_RETURN(Schema schema, ProjectedSchema(input, cols, names));
+  Table out(schema);
+  std::vector<Value> row(cols.size());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      row[i] = input.column(cols[i]).ValueAt(r);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Result<Table> DistinctProject(const Table& input,
+                              const std::vector<size_t>& cols,
+                              const std::vector<std::string>& names) {
+  WICLEAN_ASSIGN_OR_RETURN(Schema schema, ProjectedSchema(input, cols, names));
+  Table out(schema);
+
+  // hash -> candidate output rows with that hash (collision chain).
+  std::unordered_multimap<uint64_t, size_t> seen;
+  seen.reserve(input.num_rows() * 2);
+
+  std::vector<size_t> all_out_cols(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) all_out_cols[i] = i;
+
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    uint64_t h = RowKeyHash(input, r, cols);
+    bool duplicate = false;
+    auto [lo, hi] = seen.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      size_t o = it->second;
+      bool same = true;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (!CellsStructEqual(out.column(i), o, input.column(cols[i]), r)) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    size_t new_row = out.num_rows();
+    std::vector<Value> row;
+    row.reserve(cols.size());
+    for (size_t c : cols) row.push_back(input.column(c).ValueAt(r));
+    out.AppendRow(row);
+    seen.emplace(h, new_row);
+  }
+  return out;
+}
+
+Result<size_t> CountDistinct(const Table& input, size_t col) {
+  if (col >= input.num_columns()) {
+    return Status::InvalidArgument("CountDistinct column index out of range");
+  }
+  const Column& c = input.column(col);
+  if (c.type() == DataType::kInt64) {
+    std::unordered_set<int64_t> seen;
+    seen.reserve(input.num_rows() * 2);
+    for (size_t r = 0; r < input.num_rows(); ++r) {
+      if (!c.IsNull(r)) seen.insert(c.Int64At(r));
+    }
+    return seen.size();
+  }
+  std::unordered_set<std::string> seen;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    if (!c.IsNull(r)) seen.insert(c.StringAt(r));
+  }
+  return seen.size();
+}
+
+Status AppendAll(Table* dst, const Table& src) {
+  if (dst->num_columns() != src.num_columns()) {
+    return Status::InvalidArgument("AppendAll: column count mismatch");
+  }
+  for (size_t i = 0; i < dst->num_columns(); ++i) {
+    if (dst->column(i).type() != src.column(i).type()) {
+      return Status::InvalidArgument("AppendAll: column type mismatch");
+    }
+  }
+  for (size_t r = 0; r < src.num_rows(); ++r) dst->AppendRowFrom(src, r);
+  return Status::OK();
+}
+
+}  // namespace wiclean::relational

@@ -1,0 +1,16 @@
+#include "relational/schema.h"
+
+namespace wiclean::relational {
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace wiclean::relational

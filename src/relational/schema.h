@@ -1,0 +1,60 @@
+#ifndef WICLEAN_RELATIONAL_SCHEMA_H_
+#define WICLEAN_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace wiclean::relational {
+
+/// A named, typed column slot in a schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of fields describing a Table's columns. Field names within a
+/// schema must be unique (enforced by Table construction helpers; duplicate
+/// names arise naturally from joins and are disambiguated by the caller).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or an error if absent.
+  Result<size_t> FieldIndex(std::string_view name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return i;
+    }
+    return Status::NotFound("no field named '" + std::string(name) + "'");
+  }
+
+  bool HasField(std::string_view name) const {
+    return FieldIndex(name).ok();
+  }
+
+  void AddField(Field field) { fields_.push_back(std::move(field)); }
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace wiclean::relational
+
+#endif  // WICLEAN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,89 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace wiclean::relational {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+void Table::AppendRow(const std::vector<Value>& row) {
+  WICLEAN_CHECK(row.size() == columns_.size())
+      << "row width " << row.size() << " vs schema " << columns_.size();
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].AppendValue(row[i]);
+  ++num_rows_;
+}
+
+void Table::AppendInt64Row(const std::vector<int64_t>& row) {
+  WICLEAN_CHECK(row.size() == columns_.size());
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].AppendInt64(row[i]);
+  ++num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& other, size_t row) {
+  WICLEAN_CHECK(other.num_columns() == num_columns());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendFrom(other.columns_[i], row);
+  }
+  ++num_rows_;
+}
+
+void Table::AppendConcatRows(const Table& left, size_t lrow, const Table& right,
+                             size_t rrow) {
+  WICLEAN_CHECK(left.num_columns() + right.num_columns() == num_columns());
+  for (size_t i = 0; i < left.num_columns(); ++i) {
+    columns_[i].AppendFrom(left.columns_[i], lrow);
+  }
+  for (size_t i = 0; i < right.num_columns(); ++i) {
+    columns_[left.num_columns() + i].AppendFrom(right.columns_[i], rrow);
+  }
+  ++num_rows_;
+}
+
+std::vector<Value> Table::RowValues(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.ValueAt(row));
+  return out;
+}
+
+bool Table::RowHasNull(size_t row) const {
+  for (const Column& c : columns_) {
+    if (c.IsNull(row)) return true;
+  }
+  return false;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString();
+  out += "\n";
+  size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[c].ValueAt(r).ToString();
+    }
+    out += "\n";
+  }
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+Schema ConcatSchemas(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const Field& f : right.fields()) {
+    Field g = f;
+    if (out.HasField(g.name)) g.name += "_r";
+    // A pathological schema could still collide ("x", "x_r", "x" on the
+    // right); keep suffixing until unique.
+    while (out.HasField(g.name)) g.name += "_r";
+    out.AddField(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace wiclean::relational

@@ -1,0 +1,21 @@
+#include "relational/value.h"
+
+namespace wiclean::relational {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  return "\"" + string() + "\"";
+}
+
+}  // namespace wiclean::relational

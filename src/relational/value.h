@@ -1,0 +1,62 @@
+#ifndef WICLEAN_RELATIONAL_VALUE_H_
+#define WICLEAN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace wiclean::relational {
+
+/// Physical column types supported by the engine. Pattern-realization tables
+/// store entity ids as kInt64; kString exists for labels and debugging dumps.
+enum class DataType { kInt64, kString };
+
+/// Returns "int64" / "string".
+std::string_view DataTypeName(DataType type);
+
+/// A single nullable cell value. Null is the SQL null produced by full outer
+/// joins (Algorithm 3 pads non-matching sides with nulls; a null in a
+/// realization row is exactly a "missing edit").
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Payload(std::in_place_index<1>, v)); }
+  static Value String(std::string v) {
+    return Value(Payload(std::in_place_index<2>, std::move(v)));
+  }
+
+  bool is_null() const { return payload_.index() == 0; }
+  bool is_int64() const { return payload_.index() == 1; }
+  bool is_string() const { return payload_.index() == 2; }
+
+  /// Requires is_int64() / is_string().
+  int64_t int64() const { return std::get<1>(payload_); }
+  const std::string& string() const { return std::get<2>(payload_); }
+
+  /// SQL-style three-valued equality collapsed to bool: any comparison
+  /// involving null is false. (Use is_null() to test nullness.)
+  bool SqlEquals(const Value& other) const {
+    if (is_null() || other.is_null()) return false;
+    return payload_ == other.payload_;
+  }
+
+  /// Structural equality: null == null. Used by tests and distinct.
+  bool operator==(const Value& other) const { return payload_ == other.payload_; }
+
+  /// Debug rendering: "NULL", "42", or a quoted string.
+  std::string ToString() const;
+
+ private:
+  using Payload = std::variant<std::monostate, int64_t, std::string>;
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+}  // namespace wiclean::relational
+
+#endif  // WICLEAN_RELATIONAL_VALUE_H_

@@ -1,0 +1,53 @@
+#ifndef WICLEAN_REPORT_REPORT_H_
+#define WICLEAN_REPORT_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/partial.h"
+#include "core/window_search.h"
+#include "graph/entity_registry.h"
+
+namespace wiclean {
+
+/// Serializers for WiClean's outputs — the machine-readable face of the
+/// system (the paper's browser plug-in consumed an equivalent feed).
+///
+/// All writers are deterministic and stream to the given ostream; JSON is
+/// emitted pretty-printed.
+
+/// JSON for one pattern: variables (type, optional value binding), actions,
+/// and the source variable.
+void WritePatternJson(const Pattern& pattern, const TypeTaxonomy& taxonomy,
+                      const EntityRegistry* registry, std::ostream* out);
+
+/// JSON for a whole window-search result: refinement rounds, discovered
+/// patterns with their windows/frequencies, and relative patterns.
+void WriteSearchReportJson(const WindowSearchResult& result,
+                           const TypeTaxonomy& taxonomy,
+                           const EntityRegistry* registry, std::ostream* out);
+
+/// JSON for one detection report: the pattern, the window, complete-count,
+/// example completions, and each partial realization with its bound entities
+/// and missing edits.
+void WriteDetectionReportJson(const PartialUpdateReport& report,
+                              const TypeTaxonomy& taxonomy,
+                              const EntityRegistry& registry,
+                              std::ostream* out);
+
+/// CSV of error signals, one row per (pattern, partial realization):
+///   pattern,window_begin_day,window_end_day,bindings,missing_edits
+/// Strings are quoted; embedded quotes doubled (RFC 4180).
+void WriteSignalsCsv(
+    const std::vector<std::pair<const PartialUpdateReport*, std::string>>&
+        reports,
+    const EntityRegistry& registry, std::ostream* out);
+
+/// Human-readable one-line-per-pattern summary of a search result.
+std::string RenderSearchSummary(const WindowSearchResult& result,
+                                const TypeTaxonomy& taxonomy);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_REPORT_REPORT_H_

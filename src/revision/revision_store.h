@@ -1,0 +1,69 @@
+#ifndef WICLEAN_REVISION_REVISION_STORE_H_
+#define WICLEAN_REVISION_REVISION_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "revision/action.h"
+#include "revision/window.h"
+
+namespace wiclean {
+
+/// Per-entity revision logs — the "structured revisions database" the paper
+/// wishes Wikipedia provided (§6.2). Each entity's log holds the link-edit
+/// actions recorded on its own page (i.e., edits to its outgoing links),
+/// ordered by timestamp.
+///
+/// The miner deliberately reads this store *incrementally*, entity set by
+/// entity set, instead of materializing one big edits graph — that asymmetry
+/// is the PM vs PM−inc experiment.
+class RevisionStore {
+ public:
+  RevisionStore() = default;
+
+  /// Records an action in the log of action.subject. Out-of-order inserts
+  /// are allowed; logs are kept sorted by timestamp (stable for ties).
+  void Add(Action action);
+
+  /// Total number of recorded actions across all logs.
+  size_t num_actions() const { return num_actions_; }
+
+  /// Number of entities that have a non-empty log.
+  size_t num_logged_entities() const { return logs_.size(); }
+
+  /// The full log of one entity (empty vector if it has no edits).
+  const std::vector<Action>& LogOf(EntityId entity) const;
+
+  /// All actions of `entity` with time in `window`.
+  std::vector<Action> ActionsInWindow(EntityId entity,
+                                      const TimeWindow& window) const;
+
+  /// Convenience: actions of every entity in `entities` within `window`,
+  /// concatenated (per-entity chronological order preserved).
+  std::vector<Action> ActionsOfEntitiesInWindow(
+      const std::vector<EntityId>& entities, const TimeWindow& window) const;
+
+  /// Earliest and latest timestamps present in the store; returns false when
+  /// the store is empty.
+  bool TimeSpan(Timestamp* begin, Timestamp* end) const;
+
+ private:
+  std::unordered_map<EntityId, std::vector<Action>> logs_;
+  size_t num_actions_ = 0;
+};
+
+/// Reduces an action multiset to its unique net effect (§3, "reduced set of
+/// actions"): for every edge (subject, relation, object), the chronological
+/// edit sequence is collapsed — an action and a later inverse cancel — and at
+/// most one action survives, carrying the timestamp of the last edit of that
+/// edge. Output order follows first appearance of each edge in `actions`.
+///
+/// This also tolerates noisy logs (duplicate adds, deletes of absent edges):
+/// initial edge presence is inferred from the first recorded op, and only a
+/// net presence change emits an action.
+std::vector<Action> ReduceActions(const std::vector<Action>& actions);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_REVISION_REVISION_STORE_H_

@@ -1,0 +1,21 @@
+#include "revision/window.h"
+
+namespace wiclean {
+
+std::string TimeWindow::ToString() const {
+  return "[day " + std::to_string(begin / kSecondsPerDay) + ", day " +
+         std::to_string(end / kSecondsPerDay) + ")";
+}
+
+std::vector<TimeWindow> SplitTimeline(Timestamp timeline_begin,
+                                      Timestamp timeline_end,
+                                      Timestamp width) {
+  std::vector<TimeWindow> windows;
+  if (width <= 0 || timeline_end <= timeline_begin) return windows;
+  for (Timestamp b = timeline_begin; b < timeline_end; b += width) {
+    windows.push_back(TimeWindow{b, std::min(b + width, timeline_end)});
+  }
+  return windows;
+}
+
+}  // namespace wiclean

@@ -1,0 +1,38 @@
+#ifndef WICLEAN_REVISION_WINDOW_H_
+#define WICLEAN_REVISION_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "revision/action.h"
+
+namespace wiclean {
+
+/// Half-open time frame [begin, end). The unit of pattern mining: WC splits
+/// the timeline into non-overlapping windows and mines each independently
+/// (§4.3), which is also what makes the computation embarrassingly parallel.
+struct TimeWindow {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+
+  Timestamp width() const { return end - begin; }
+  bool Contains(Timestamp t) const { return t >= begin && t < end; }
+  bool operator==(const TimeWindow& other) const {
+    return begin == other.begin && end == other.end;
+  }
+
+  /// "[w0, w1)" with day granularity, e.g. "[day 210, day 224)".
+  std::string ToString() const;
+};
+
+/// Splits [timeline_begin, timeline_end) into consecutive windows of `width`
+/// seconds (Algorithm 2, line 7). The final window is truncated at
+/// timeline_end if the range is not an exact multiple. Width must be > 0 and
+/// the range non-empty; violations yield an empty vector.
+std::vector<TimeWindow> SplitTimeline(Timestamp timeline_begin,
+                                      Timestamp timeline_end,
+                                      Timestamp width);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_REVISION_WINDOW_H_

@@ -1,0 +1,114 @@
+#include "synth/catalog.h"
+
+namespace wiclean {
+
+Result<CatalogTaxonomy> BuildCatalogTaxonomy() {
+  CatalogTaxonomy out;
+  out.taxonomy = std::make_unique<TypeTaxonomy>();
+  TypeTaxonomy& tax = *out.taxonomy;
+  TypeCatalog& t = out.types;
+
+  WICLEAN_ASSIGN_OR_RETURN(t.thing, tax.AddRoot("thing"));
+
+  // Agents.
+  WICLEAN_ASSIGN_OR_RETURN(t.agent, tax.AddType("agent", t.thing));
+  WICLEAN_ASSIGN_OR_RETURN(t.person, tax.AddType("person", t.agent));
+  WICLEAN_ASSIGN_OR_RETURN(t.organisation,
+                           tax.AddType("organisation", t.agent));
+
+  // People: athletes (depth 7 at the leaf).
+  WICLEAN_ASSIGN_OR_RETURN(t.athlete, tax.AddType("athlete", t.person));
+  WICLEAN_ASSIGN_OR_RETURN(t.football_player,
+                           tax.AddType("football_player", t.athlete));
+  WICLEAN_ASSIGN_OR_RETURN(t.soccer_player,
+                           tax.AddType("soccer_player", t.football_player));
+  WICLEAN_ASSIGN_OR_RETURN(
+      t.soccer_goalkeeper,
+      tax.AddType("soccer_goalkeeper", t.soccer_player));
+
+  // People: artists.
+  WICLEAN_ASSIGN_OR_RETURN(t.artist, tax.AddType("artist", t.person));
+  WICLEAN_ASSIGN_OR_RETURN(t.actor, tax.AddType("actor", t.artist));
+  WICLEAN_ASSIGN_OR_RETURN(t.film_actor, tax.AddType("film_actor", t.actor));
+  WICLEAN_ASSIGN_OR_RETURN(t.voice_actor,
+                           tax.AddType("voice_actor", t.film_actor));
+  WICLEAN_ASSIGN_OR_RETURN(t.director, tax.AddType("director", t.artist));
+
+  // People: software developers (for the section-7 software-repositories
+  // generalization).
+  WICLEAN_ASSIGN_OR_RETURN(t.developer, tax.AddType("developer", t.person));
+  WICLEAN_ASSIGN_OR_RETURN(t.maintainer,
+                           tax.AddType("maintainer", t.developer));
+
+  // People: politicians.
+  WICLEAN_ASSIGN_OR_RETURN(t.politician, tax.AddType("politician", t.person));
+  WICLEAN_ASSIGN_OR_RETURN(t.congressperson,
+                           tax.AddType("congressperson", t.politician));
+  WICLEAN_ASSIGN_OR_RETURN(t.senator, tax.AddType("senator", t.congressperson));
+  WICLEAN_ASSIGN_OR_RETURN(t.former_senator,
+                           tax.AddType("former_senator", t.congressperson));
+
+  // Organisations.
+  WICLEAN_ASSIGN_OR_RETURN(t.sports_team,
+                           tax.AddType("sports_team", t.organisation));
+  WICLEAN_ASSIGN_OR_RETURN(t.soccer_club,
+                           tax.AddType("soccer_club", t.sports_team));
+  WICLEAN_ASSIGN_OR_RETURN(t.national_team,
+                           tax.AddType("national_team", t.sports_team));
+  WICLEAN_ASSIGN_OR_RETURN(t.sports_league,
+                           tax.AddType("sports_league", t.organisation));
+  WICLEAN_ASSIGN_OR_RETURN(t.soccer_league,
+                           tax.AddType("soccer_league", t.sports_league));
+  WICLEAN_ASSIGN_OR_RETURN(t.company, tax.AddType("company", t.organisation));
+  WICLEAN_ASSIGN_OR_RETURN(t.film_studio,
+                           tax.AddType("film_studio", t.company));
+  WICLEAN_ASSIGN_OR_RETURN(t.sponsor_company,
+                           tax.AddType("sponsor_company", t.company));
+  WICLEAN_ASSIGN_OR_RETURN(t.political_party,
+                           tax.AddType("political_party", t.organisation));
+  WICLEAN_ASSIGN_OR_RETURN(t.committee,
+                           tax.AddType("committee", t.organisation));
+  WICLEAN_ASSIGN_OR_RETURN(t.software_org,
+                           tax.AddType("software_org", t.organisation));
+
+  // Places.
+  WICLEAN_ASSIGN_OR_RETURN(t.place, tax.AddType("place", t.thing));
+  WICLEAN_ASSIGN_OR_RETURN(t.populated_place,
+                           tax.AddType("populated_place", t.place));
+  WICLEAN_ASSIGN_OR_RETURN(
+      t.administrative_region,
+      tax.AddType("administrative_region", t.populated_place));
+  WICLEAN_ASSIGN_OR_RETURN(t.us_state,
+                           tax.AddType("us_state", t.administrative_region));
+
+  // Works.
+  WICLEAN_ASSIGN_OR_RETURN(t.work, tax.AddType("work", t.thing));
+  WICLEAN_ASSIGN_OR_RETURN(t.film, tax.AddType("film", t.work));
+  WICLEAN_ASSIGN_OR_RETURN(t.television_show,
+                           tax.AddType("television_show", t.work));
+  WICLEAN_ASSIGN_OR_RETURN(
+      t.television_season,
+      tax.AddType("television_season", t.television_show));
+  WICLEAN_ASSIGN_OR_RETURN(t.software, tax.AddType("software", t.work));
+  WICLEAN_ASSIGN_OR_RETURN(t.software_project,
+                           tax.AddType("software_project", t.software));
+  WICLEAN_ASSIGN_OR_RETURN(t.software_library,
+                           tax.AddType("software_library", t.software));
+
+  // Awards.
+  WICLEAN_ASSIGN_OR_RETURN(t.award, tax.AddType("award", t.thing));
+  WICLEAN_ASSIGN_OR_RETURN(t.sports_award,
+                           tax.AddType("sports_award", t.award));
+  WICLEAN_ASSIGN_OR_RETURN(t.entertainment_award,
+                           tax.AddType("entertainment_award", t.award));
+  WICLEAN_ASSIGN_OR_RETURN(
+      t.academy_award, tax.AddType("academy_award", t.entertainment_award));
+  WICLEAN_ASSIGN_OR_RETURN(t.tv_award,
+                           tax.AddType("tv_award", t.entertainment_award));
+  WICLEAN_ASSIGN_OR_RETURN(t.hall_of_fame,
+                           tax.AddType("hall_of_fame", t.award));
+
+  return out;
+}
+
+}  // namespace wiclean

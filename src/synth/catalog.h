@@ -1,0 +1,55 @@
+#ifndef WICLEAN_SYNTH_CATALOG_H_
+#define WICLEAN_SYNTH_CATALOG_H_
+
+#include <memory>
+
+#include "taxonomy/taxonomy.h"
+
+namespace wiclean {
+
+/// Named handles into the synthetic DBPedia-style taxonomy shared by the
+/// three evaluation domains (soccer, cinematography, US politicians). The
+/// hierarchy is up to 7 levels deep under the root, matching the paper's
+/// "typically around eight hierarchy levels".
+struct TypeCatalog {
+  // Root and upper ontology.
+  TypeId thing, agent, person, organisation, place, work, award;
+
+  // People.
+  TypeId athlete, football_player, soccer_player, soccer_goalkeeper;
+  TypeId artist, actor, film_actor, voice_actor, director;
+  TypeId developer, maintainer;
+  TypeId politician, congressperson, senator, former_senator;
+
+  // Organisations.
+  TypeId sports_team, soccer_club, national_team;
+  TypeId sports_league, soccer_league;
+  TypeId company, film_studio, sponsor_company;
+  TypeId political_party, committee;
+  TypeId software_org;
+
+  // Places.
+  TypeId populated_place, administrative_region, us_state;
+
+  // Works.
+  TypeId film, television_show, television_season;
+  TypeId software, software_project, software_library;
+
+  // Awards.
+  TypeId sports_award, entertainment_award, academy_award, tv_award;
+  TypeId hall_of_fame;
+};
+
+/// A taxonomy together with its catalog of named type ids.
+struct CatalogTaxonomy {
+  std::unique_ptr<TypeTaxonomy> taxonomy;
+  TypeCatalog types;
+};
+
+/// Builds the shared synthetic taxonomy. Never fails (the construction is
+/// static); the Result carries wiring errors in case of future edits.
+Result<CatalogTaxonomy> BuildCatalogTaxonomy();
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_SYNTH_CATALOG_H_

@@ -1,0 +1,413 @@
+#include "synth/domain.h"
+
+namespace wiclean {
+namespace {
+
+RoleSpec SeedRole(TypeId type) {
+  RoleSpec r;
+  r.kind = RoleSpec::Kind::kSeed;
+  r.type = type;
+  return r;
+}
+
+RoleSpec RandomRole(TypeId type) {
+  RoleSpec r;
+  r.kind = RoleSpec::Kind::kRandom;
+  r.type = type;
+  return r;
+}
+
+RoleSpec CurrentRole(TypeId type, int ref_role, std::string relation) {
+  RoleSpec r;
+  r.kind = RoleSpec::Kind::kCurrentObject;
+  r.type = type;
+  r.ref_role = ref_role;
+  r.ref_relation = std::move(relation);
+  return r;
+}
+
+RoleSpec InitialRole(TypeId type, int ref_role, std::string relation) {
+  RoleSpec r;
+  r.kind = RoleSpec::Kind::kInitialObject;
+  r.type = type;
+  r.ref_role = ref_role;
+  r.ref_relation = std::move(relation);
+  return r;
+}
+
+EventActionSpec Add(int subject, std::string relation, int object) {
+  return EventActionSpec{EditOp::kAdd, subject, std::move(relation), object};
+}
+
+EventActionSpec Remove(int subject, std::string relation, int object) {
+  return EventActionSpec{EditOp::kRemove, subject, std::move(relation),
+                         object};
+}
+
+/// A symmetric two-action pattern: seed links to a partner and the partner
+/// links back — the dominant shape of the paper's examples (award pages,
+/// squad tables, cast lists).
+PatternSpec ReciprocalPattern(std::string name, int window_index,
+                              double occurrence, double error_rate,
+                              TypeId seed_type, TypeId partner_type,
+                              std::string forward, std::string backward) {
+  PatternSpec p;
+  p.name = std::move(name);
+  p.window_index = window_index;
+  p.occurrence = occurrence;
+  p.error_rate = error_rate;
+  p.roles = {SeedRole(seed_type), RandomRole(partner_type)};
+  p.actions = {Add(0, std::move(forward), 1), Add(1, std::move(backward), 0)};
+  return p;
+}
+
+}  // namespace
+
+DomainSpec SoccerDomain(const TypeCatalog& t) {
+  DomainSpec d;
+  d.name = "soccer";
+  d.seed_type = t.soccer_player;
+  d.seed_mixture = {{t.soccer_player, 0.8}, {t.soccer_goalkeeper, 0.2}};
+
+  d.populations = {
+      {t.soccer_club, "Club", 0.08, 6},
+      {t.soccer_league, "League", 0.0, 4},
+      {t.national_team, "NationalTeam", 0.01, 3},
+      {t.sports_award, "SportsAward", 0.0, 4},
+      {t.sponsor_company, "Sponsor", 0.02, 3},
+      {t.company, "MediaOutlet", 0.02, 3},
+      {t.hall_of_fame, "HallOfFame", 0.0, 2},
+  };
+
+  // Baseline world: every club plays in a league; every player belongs to a
+  // club (reciprocal squad link) and inherits the club's league.
+  d.initial_edges = {
+      {t.soccer_club, "in_league", t.soccer_league, "", {}},
+      {t.soccer_player, "current_club", t.soccer_club, "squad", {}},
+      {t.soccer_player,
+       "in_league",
+       t.soccer_league,
+       "",
+       {"current_club", "in_league"}},
+  };
+
+  // --- Windowed patterns (the 9 the paper's system discovers) ---
+
+  // Youth signings: a player gains a first-team club link and the club lists
+  // the player; no old club to unlink (the "simplest pattern" of §6.3, found
+  // in a narrow window with high frequency).
+  {
+    PatternSpec p;
+    p.name = "youth_signing";
+    p.window_index = 15;  // days [210, 224) — early August
+    p.occurrence = 0.90;
+    p.error_rate = 0.05;
+    p.benign_rate = 0.015;
+    p.roles = {SeedRole(t.soccer_player),
+               CurrentRole(t.soccer_club, 0, "current_club"),  // avoid-only
+               RandomRole(t.soccer_club)};
+    p.actions = {Add(0, "current_club", 2), Add(2, "squad", 0)};
+    p.benign_action = 1;  // a club legitimately listing an academy player
+    d.patterns.push_back(std::move(p));
+  }
+
+  // Full transfer: new club linked, old club unlinked, both squads updated;
+  // league links change only for cross-league moves (the paper's relative
+  // pattern). Expert variants: the 4-action club pattern and the 6-action
+  // league-extended pattern.
+  {
+    PatternSpec p;
+    p.name = "transfer_full";
+    p.window_index = 16;  // days [224, 238) — late August
+    p.occurrence = 0.68;
+    p.error_rate = 0.10;
+    p.benign_rate = 0.01;
+    p.roles = {SeedRole(t.soccer_player),
+               CurrentRole(t.soccer_club, 0, "current_club"),   // old club
+               RandomRole(t.soccer_club),                       // new club
+               CurrentRole(t.soccer_league, 0, "in_league"),    // old league
+               CurrentRole(t.soccer_league, 2, "in_league")};   // new league
+    p.actions = {Add(0, "current_club", 2), Remove(0, "current_club", 1),
+                 Add(2, "squad", 0),        Remove(1, "squad", 0),
+                 Remove(0, "in_league", 3), Add(0, "in_league", 4)};
+    p.expert_variants = {{0, 1, 2, 3}, {0, 1, 2, 3, 4, 5}};
+    p.benign_action = 2;
+    d.patterns.push_back(std::move(p));
+  }
+
+  d.patterns.push_back(ReciprocalPattern(
+      "goal_of_month", /*window_index=*/2, 0.55, 0.12, t.soccer_player,
+      t.sports_award, "award_won", "award_winner"));
+  d.patterns.push_back(ReciprocalPattern(
+      "winter_loan", /*window_index=*/1, 0.50, 0.10, t.soccer_player,
+      t.soccer_club, "on_loan_at", "loan_squad"));
+  d.patterns.push_back(ReciprocalPattern(
+      "national_team_callup", /*window_index=*/4, 0.50, 0.08, t.soccer_player,
+      t.national_team, "national_team", "nt_squad"));
+  // Sponsorship deals trickle in over a four-week period: the one soccer
+  // pattern whose window is wider than W_min, so only a search that widens
+  // its windows can reach the frequency threshold.
+  {
+    PatternSpec p = ReciprocalPattern(
+        "sponsorship_deal", /*window_index=*/6, 0.36, 0.10, t.soccer_player,
+        t.sponsor_company, "sponsored_by", "sponsors");
+    p.window_span = 2;  // days [84, 112)
+    d.patterns.push_back(std::move(p));
+  }
+
+  // Captaincy handover: links between the player and their *current* club.
+  {
+    PatternSpec p;
+    p.name = "captaincy";
+    p.window_index = 14;  // days [196, 210)
+    p.occurrence = 0.45;
+    p.error_rate = 0.10;
+    p.roles = {SeedRole(t.soccer_player),
+               CurrentRole(t.soccer_club, 0, "current_club")};
+    p.actions = {Add(0, "captain_of", 1), Add(1, "captain", 0)};
+    d.patterns.push_back(std::move(p));
+  }
+
+  // Retirement: both directions of the player-club relationship removed,
+  // plus a hall-of-fame link — the extra action distinguishes retirements
+  // from the removal half of a transfer, which would otherwise dominate this
+  // pattern in any window containing both. The unlinked club is the one held
+  // since before the year (the initial edge), so retirements are not
+  // net-cancelled against this year's transfer additions when a wide window
+  // is reduced.
+  {
+    PatternSpec p;
+    p.name = "retirement";
+    p.window_index = 23;  // days [322, 336) — season end
+    p.occurrence = 0.60;
+    p.error_rate = 0.12;
+    p.roles = {SeedRole(t.soccer_player),
+               InitialRole(t.soccer_club, 0, "current_club"),
+               RandomRole(t.hall_of_fame)};
+    p.actions = {Remove(0, "current_club", 1), Remove(1, "squad", 0),
+                 Add(0, "honored_in", 2)};
+    d.patterns.push_back(std::move(p));
+  }
+
+  // --- Window-less patterns (the paper's recall misses: real expert
+  // patterns, but spread uniformly over the year and too rare to clear the
+  // minimum threshold even at a one-year window) ---
+  {
+    PatternSpec p = ReciprocalPattern("injury_listing", /*window_index=*/-1,
+                                      0.12, 0.10, t.soccer_player,
+                                      t.soccer_club, "on_injury_list",
+                                      "injured_players");
+    d.patterns.push_back(std::move(p));
+  }
+  {
+    PatternSpec p = ReciprocalPattern("media_profile", /*window_index=*/-1,
+                                      0.10, 0.10, t.soccer_player, t.company,
+                                      "profiled_by", "profiles");
+    d.patterns.push_back(std::move(p));
+  }
+
+  return d;
+}
+
+DomainSpec CinemaDomain(const TypeCatalog& t) {
+  DomainSpec d;
+  d.name = "cinematography";
+  d.seed_type = t.film_actor;
+
+  d.populations = {
+      {t.film, "Film", 0.30, 10},
+      {t.television_season, "Season", 0.05, 4},
+      {t.academy_award, "AcademyAward", 0.0, 4},
+      {t.tv_award, "TvAward", 0.0, 3},
+      {t.film_studio, "Studio", 0.02, 3},
+  };
+
+  d.initial_edges = {
+      {t.film_actor, "appears_in", t.film, "cast_member", {}},
+  };
+
+  d.patterns.push_back(ReciprocalPattern(
+      "oscar_win", /*window_index=*/4, 0.50, 0.12, t.film_actor,
+      t.academy_award, "award_won", "award_winner"));
+
+  {
+    PatternSpec p = ReciprocalPattern(
+        "film_release", /*window_index=*/9, 0.70, 0.10, t.film_actor, t.film,
+        "appears_in", "cast_member");
+    p.benign_rate = 0.02;
+    p.benign_action = 1;  // studios pre-announcing cast on the film page
+    d.patterns.push_back(std::move(p));
+  }
+
+  d.patterns.push_back(ReciprocalPattern(
+      "casting_announcement", /*window_index=*/1, 0.50, 0.10, t.film_actor,
+      t.film, "cast_in_future", "future_cast"));
+  d.patterns.push_back(ReciprocalPattern(
+      "tv_season_cast", /*window_index=*/17, 0.45, 0.10, t.film_actor,
+      t.television_season, "season_cast_of", "season_stars"));
+  d.patterns.push_back(ReciprocalPattern(
+      "emmy_win", /*window_index=*/18, 0.40, 0.10, t.film_actor, t.tv_award,
+      "tv_award_won", "tv_award_winner"));
+  d.patterns.push_back(ReciprocalPattern(
+      "studio_contract", /*window_index=*/13, 0.45, 0.10, t.film_actor,
+      t.film_studio, "signed_with", "signed_actor"));
+  d.patterns.push_back(ReciprocalPattern(
+      "directorial_debut", /*window_index=*/21, 0.35, 0.10, t.film_actor,
+      t.film, "directed", "directed_by"));
+
+  // Window-less recall miss: retroactive filmography cleanup.
+  {
+    PatternSpec p;
+    p.name = "filmography_cleanup";
+    p.window_index = -1;
+    p.occurrence = 0.12;
+    p.error_rate = 0.10;
+    p.roles = {SeedRole(t.film_actor), CurrentRole(t.film, 0, "appears_in")};
+    p.actions = {Remove(0, "appears_in", 1), Remove(1, "cast_member", 0)};
+    d.patterns.push_back(std::move(p));
+  }
+
+  return d;
+}
+
+DomainSpec PoliticsDomain(const TypeCatalog& t) {
+  DomainSpec d;
+  d.name = "us_politicians";
+  d.seed_type = t.senator;
+
+  d.populations = {
+      {t.us_state, "State", 1.0, 2},
+      {t.former_senator, "OutgoingSenator", 1.0, 2},
+      {t.committee, "Committee", 0.05, 4},
+      {t.political_party, "Party", 0.0, 2},
+  };
+
+  d.initial_edges = {
+      {t.senator, "senator_from", t.us_state, "state_senator", {}},
+      // Two outgoing-senator links per state so year-2 elections (the
+      // periodic repeat) still find a predecessor to unlink.
+      {t.us_state, "outgoing_senator", t.former_senator, "", {}},
+      {t.us_state, "outgoing_senator", t.former_senator, "", {}},
+  };
+
+  // Election (the paper's example): the new senator and the state link each
+  // other, and the state drops its link to the outgoing senator (who keeps
+  // pointing at the state). Three actions, three variables.
+  {
+    PatternSpec p;
+    p.name = "election";
+    p.window_index = 0;  // days [0, 14) — swearing-in
+    p.occurrence = 0.60;
+    p.error_rate = 0.12;
+    p.benign_rate = 0.01;
+    p.roles = {SeedRole(t.senator), RandomRole(t.us_state),
+               CurrentRole(t.former_senator, 1, "outgoing_senator")};
+    p.actions = {Add(0, "senator_from", 1), Add(1, "state_senator", 0),
+                 Remove(1, "outgoing_senator", 2)};
+    p.benign_action = 1;
+    d.patterns.push_back(std::move(p));
+  }
+
+  d.patterns.push_back(ReciprocalPattern(
+      "committee_assignment", /*window_index=*/1, 0.55, 0.10, t.senator,
+      t.committee, "member_of", "committee_member"));
+  d.patterns.push_back(ReciprocalPattern(
+      "party_leadership", /*window_index=*/2, 0.35, 0.10, t.senator,
+      t.political_party, "party_leader_of", "led_by"));
+  d.patterns.push_back(ReciprocalPattern(
+      "campaign_season", /*window_index=*/19, 0.45, 0.10, t.senator,
+      t.us_state, "campaigns_in", "campaigned_by"));
+
+  // Window-less recall miss: resignations happen year-round and rarely.
+  {
+    PatternSpec p;
+    p.name = "resignation";
+    p.window_index = -1;
+    p.occurrence = 0.10;
+    p.error_rate = 0.10;
+    p.roles = {SeedRole(t.senator),
+               CurrentRole(t.us_state, 0, "senator_from")};
+    p.actions = {Remove(0, "senator_from", 1), Remove(1, "state_senator", 0)};
+    d.patterns.push_back(std::move(p));
+  }
+
+  return d;
+}
+
+
+
+DomainSpec SoftwareDomain(const TypeCatalog& t) {
+  DomainSpec d;
+  d.name = "software_repos";
+  d.seed_type = t.software_project;
+
+  d.populations = {
+      {t.software_library, "Library", 0.30, 8},
+      {t.maintainer, "Maintainer", 0.50, 6},
+      {t.software_org, "Foundation", 0.05, 3},
+  };
+
+  // Baseline: every project depends on a library (reciprocal link) and has a
+  // maintainer.
+  d.initial_edges = {
+      {t.software_project, "depends_on", t.software_library, "dependent", {}},
+      {t.software_project, "maintained_by", t.maintainer, "maintains", {}},
+  };
+
+  // Release season: a project picks up a new dependency; the library page
+  // lists the dependent back.
+  d.patterns.push_back(ReciprocalPattern(
+      "dependency_added", /*window_index=*/3, 0.60, 0.10, t.software_project,
+      t.software_library, "depends_on", "dependent"));
+
+  // Maintainer handover: the transfer pattern of the software world.
+  {
+    PatternSpec p;
+    p.name = "maintainer_handover";
+    p.window_index = 10;  // days [140, 154)
+    p.occurrence = 0.50;
+    p.error_rate = 0.12;
+    p.roles = {SeedRole(t.software_project),
+               InitialRole(t.maintainer, 0, "maintained_by"),  // outgoing
+               RandomRole(t.maintainer)};                      // incoming
+    p.actions = {Add(0, "maintained_by", 2), Remove(0, "maintained_by", 1),
+                 Add(2, "maintains", 0),     Remove(1, "maintains", 0)};
+    d.patterns.push_back(std::move(p));
+  }
+
+  // Foundation adoption: reciprocal links with the owning organisation.
+  d.patterns.push_back(ReciprocalPattern(
+      "foundation_adoption", /*window_index=*/18, 0.40, 0.10,
+      t.software_project, t.software_org, "owned_by", "owns"));
+
+  // Dependency migration: old library unlinked, new one linked, both sides.
+  {
+    PatternSpec p;
+    p.name = "dependency_migration";
+    p.window_index = 22;  // days [308, 322)
+    p.occurrence = 0.45;
+    p.error_rate = 0.12;
+    p.roles = {SeedRole(t.software_project),
+               InitialRole(t.software_library, 0, "depends_on"),
+               RandomRole(t.software_library)};
+    p.actions = {Add(0, "depends_on", 2), Remove(0, "depends_on", 1),
+                 Add(2, "dependent", 0),  Remove(1, "dependent", 0)};
+    d.patterns.push_back(std::move(p));
+  }
+
+  // Window-less recall miss: forks happen all year and rarely.
+  {
+    PatternSpec p;
+    p.name = "fork_link";
+    p.window_index = -1;
+    p.occurrence = 0.10;
+    p.error_rate = 0.10;
+    p.roles = {SeedRole(t.software_project),
+               RandomRole(t.software_project)};
+    p.actions = {Add(0, "forked_from", 1), Add(1, "has_fork", 0)};
+    d.patterns.push_back(std::move(p));
+  }
+
+  return d;
+}
+}  // namespace wiclean

@@ -1,0 +1,144 @@
+#ifndef WICLEAN_SYNTH_DOMAIN_H_
+#define WICLEAN_SYNTH_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "revision/action.h"
+#include "synth/catalog.h"
+
+namespace wiclean {
+
+/// How a pattern role (variable) is bound when an event is instantiated for a
+/// concrete seed entity.
+struct RoleSpec {
+  enum class Kind {
+    kSeed,           // role 0: the seed entity itself
+    kRandom,         // uniform random entity of `type`, distinct from others
+    kCurrentObject,  // the current object of (roles[ref_role], ref_relation)
+                     // in the evolving world graph; the event is skipped if
+                     // no such edge exists
+    kInitialObject,  // the object of (roles[ref_role], ref_relation) in the
+                     // *initial* (pre-timeline) graph — e.g. a retiree
+                     // unlinks the club held since before the year started
+  };
+
+  Kind kind = Kind::kRandom;
+  TypeId type = kInvalidTypeId;
+  int ref_role = 0;
+  std::string ref_relation;
+};
+
+/// One edit of a pattern event: subject/object are role indices.
+struct EventActionSpec {
+  EditOp op = EditOp::kAdd;
+  int subject_role = 0;
+  std::string relation;
+  int object_role = 0;
+};
+
+/// Ground-truth specification of one domain update pattern: what the expert
+/// would list, plus the generation parameters that control how often it
+/// occurs, where on the timeline, and how often editors leave it incomplete.
+struct PatternSpec {
+  std::string name;
+
+  /// Index of the two-week slot [14*i, 14*(i+1)) days the event occurs in,
+  /// or -1 for a window-less pattern spread uniformly over the year (the
+  /// paper's insight experiment: window-less patterns are the recall misses).
+  int window_index = -1;
+
+  /// Width of the pattern's window in two-week slots. Most events are tight
+  /// (span 1); a span-2 pattern needs the window-refinement ladder to widen
+  /// past W_min before it becomes frequent — the paper's "wider window"
+  /// patterns (the full transfer spans two weeks where the simple one spans
+  /// one).
+  int window_span = 1;
+
+  /// Fraction of seed entities that trigger this event per year.
+  double occurrence = 0.5;
+
+  /// Probability that any single action of an occurrence is forgotten — the
+  /// injected-error knob. At most one action per occurrence is dropped so an
+  /// error has a well-defined missing edit.
+  double error_rate = 0.08;
+
+  /// Fraction of seed entities that perform a *legitimate* strict subset of
+  /// the actions (e.g. a youth player added to a squad page with no
+  /// reciprocal link expected). These produce false signals: partial
+  /// realizations that no expert would confirm as errors.
+  double benign_rate = 0.0;
+
+  /// Probability that an emitted action is accompanied by revert churn
+  /// (action, inverse, action again) — exercises the reduction step.
+  double churn_rate = 0.05;
+
+  std::vector<RoleSpec> roles;           // roles[0] must be kSeed
+  std::vector<EventActionSpec> actions;  // the full, correct edit set
+
+  /// Which action a benign partial performs (see benign_rate).
+  size_t benign_action = 0;
+
+  /// The expert-listed patterns derived from this spec, as subsets of action
+  /// indices. Empty means one variant containing every action. transfer_full
+  /// lists both the 4-action club pattern and the 6-action league-extended
+  /// pattern (the paper's relative pattern).
+  std::vector<std::vector<int>> expert_variants;
+
+  bool windowed() const { return window_index >= 0; }
+};
+
+/// One evaluation domain (soccer, cinematography, US politicians).
+struct DomainSpec {
+  std::string name;
+  TypeId seed_type = kInvalidTypeId;
+
+  /// Most-specific types assigned to seed entities, with mixture weights.
+  /// Empty means every seed entity gets exactly seed_type. The soccer domain
+  /// mixes in goalkeepers (a subtype) to exercise the taxonomy during
+  /// abstraction.
+  std::vector<std::pair<TypeId, double>> seed_mixture;
+
+  /// Entity population: (type, count_expression) pairs; seed-type count is
+  /// supplied at generation time. `count_per_seed` scales with the seed count
+  /// (rounded up, minimum `min_count`).
+  struct Population {
+    TypeId type = kInvalidTypeId;
+    std::string name_prefix;
+    double count_per_seed = 0;
+    size_t min_count = 1;
+  };
+  std::vector<Population> populations;
+
+  /// Initial world edges laid down at t=0 (before the timeline): relation
+  /// triples like (player, current_club, club) that removals act on.
+  struct InitialEdge {
+    TypeId subject_type = kInvalidTypeId;
+    std::string relation;
+    TypeId object_type = kInvalidTypeId;
+    /// Also create the given inverse relation from object to subject.
+    std::string inverse_relation;  // empty = none
+    /// When non-empty, the object is derived instead of random: follow this
+    /// relation chain from the subject (e.g. a player's initial league is the
+    /// league of the player's current club: via = {"current_club",
+    /// "in_league"}).
+    std::vector<std::string> via;
+  };
+  std::vector<InitialEdge> initial_edges;
+
+  std::vector<PatternSpec> patterns;
+};
+
+/// The three paper domains, parameterized by the shared catalog.
+DomainSpec SoccerDomain(const TypeCatalog& t);
+DomainSpec CinemaDomain(const TypeCatalog& t);
+DomainSpec PoliticsDomain(const TypeCatalog& t);
+
+/// The paper's section-7 generalization target: revision histories of
+/// software repositories, where link consistency between projects,
+/// libraries, maintainers and owning organisations matters.
+DomainSpec SoftwareDomain(const TypeCatalog& t);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_SYNTH_DOMAIN_H_

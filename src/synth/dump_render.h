@@ -1,0 +1,31 @@
+#ifndef WICLEAN_SYNTH_DUMP_RENDER_H_
+#define WICLEAN_SYNTH_DUMP_RENDER_H_
+
+#include <ostream>
+
+#include "common/result.h"
+#include "dump/dump.h"
+#include "revision/window.h"
+#include "synth/synthesizer.h"
+
+namespace wiclean {
+
+/// Renders a synthetic world as a MediaWiki-style dump: per entity, a
+/// baseline revision holding its initial infobox links, then one full-text
+/// revision per link edit (in time order). Ingesting this dump through the
+/// wikitext differ reconstructs the revision store — the paper's crawl/parse
+/// preprocessing path, and the "Preproc" cost in Fig 4.
+///
+/// Only actions with time in [time_begin, time_end) are rendered; pass the
+/// world's full span to render everything.
+Result<DumpPage> RenderEntityPage(const SynthWorld& world, EntityId entity,
+                                  Timestamp time_begin, Timestamp time_end);
+
+/// Streams the whole world (every entity with a log or initial links) as one
+/// dump document.
+Status WriteDump(const SynthWorld& world, Timestamp time_begin,
+                 Timestamp time_end, std::ostream* out);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_SYNTH_DUMP_RENDER_H_

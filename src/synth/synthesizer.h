@@ -1,0 +1,123 @@
+#ifndef WICLEAN_SYNTH_SYNTHESIZER_H_
+#define WICLEAN_SYNTH_SYNTHESIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "graph/entity_registry.h"
+#include "graph/wiki_graph.h"
+#include "revision/revision_store.h"
+#include "synth/catalog.h"
+#include "synth/domain.h"
+
+namespace wiclean {
+
+/// One expert-listed ground-truth pattern, as the paper's domain experts
+/// would write it (core Pattern form for matching against mined output).
+struct ExpertPattern {
+  std::string name;
+  std::string domain;
+  Pattern pattern;
+  bool windowed = false;
+  int window_index = -1;
+};
+
+/// One injected incomplete edit — the ground truth behind a true error
+/// signal.
+struct InjectedError {
+  EntityId seed = kInvalidEntityId;
+  std::string domain;
+  std::string pattern_name;
+  int window_index = -1;  // -1 for window-less patterns
+  int year = 0;
+  std::vector<Action> performed;  // the edits that did happen
+  std::vector<Action> missing;    // the forgotten edits
+  bool corrected_next_year = false;
+};
+
+/// A legitimate partial edit (no completion expected) — the ground truth
+/// behind a false signal.
+struct BenignPartial {
+  EntityId seed = kInvalidEntityId;
+  std::string pattern_name;
+  int window_index = -1;
+  Action performed;
+};
+
+/// Everything the quality experiments need to score the system.
+struct GroundTruth {
+  std::vector<ExpertPattern> expert_patterns;
+  std::vector<InjectedError> errors;
+  std::vector<BenignPartial> benign;
+};
+
+/// Generation parameters.
+struct SynthOptions {
+  uint64_t rng_seed = 42;
+  /// Number of seed-type entities generated per enabled domain.
+  size_t seed_entities = 500;
+  /// Years of revision history. Year 0 is the mining year; year 1 carries the
+  /// corrections used by the paper's "fixed in 2019" validation plus fresh
+  /// periodic occurrences.
+  int years = 2;
+
+  bool soccer = true;
+  bool cinema = false;
+  bool politics = false;
+  /// The section-7 generalization domain (software repositories).
+  bool software = false;
+
+  /// Fraction of injected errors corrected in the following year.
+  double correction_rate = 0.72;
+
+  /// Unrelated filler entities (with their own chatter) to scale the graph;
+  /// they stress PM−inc's full materialization without touching the domains.
+  /// A third of them are typed as bare persons — comparable to every
+  /// domain's seed type at the upper taxonomy levels, as most crawled
+  /// Wikipedia pages are — so a full-graph miner must weigh their edits as
+  /// singleton candidates while the incremental construction never reads
+  /// them.
+  size_t background_entities = 0;
+  /// Expected background edits per background entity per year.
+  double background_edit_rate = 1.0;
+  /// Size of the background relation vocabulary ("bg_rel_<k>"); Wikipedia's
+  /// infobox attribute space is large, and every distinct (op, types,
+  /// relation) combination is one more abstract action a full-graph miner
+  /// must consider.
+  size_t background_relation_count = 40;
+};
+
+/// A fully generated synthetic Wikipedia: taxonomy, entities, revision logs,
+/// the t=0 baseline graph, and ground truth. Move-only.
+class SynthWorld {
+ public:
+  SynthWorld() = default;
+  SynthWorld(SynthWorld&&) = default;
+  SynthWorld& operator=(SynthWorld&&) = default;
+  SynthWorld(const SynthWorld&) = delete;
+  SynthWorld& operator=(const SynthWorld&) = delete;
+
+  std::unique_ptr<TypeTaxonomy> taxonomy;
+  TypeCatalog types;
+  std::unique_ptr<EntityRegistry> registry;
+  RevisionStore store;
+  /// Edges present before the first revision (the dump's baseline revision).
+  std::vector<Edge> initial_edges;
+  GroundTruth ground_truth;
+  std::vector<DomainSpec> domains;
+  SynthOptions options;
+
+  /// The mining window [14d*i, 14d*(i+1)) of `year`.
+  TimeWindow WindowOf(int window_index, int year = 0) const;
+  /// The whole timeline of `year`.
+  TimeWindow YearWindow(int year) const;
+};
+
+/// Generates a synthetic world. Deterministic in options.rng_seed.
+Result<SynthWorld> Synthesize(const SynthOptions& options);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_SYNTH_SYNTHESIZER_H_

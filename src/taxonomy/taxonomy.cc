@@ -1,0 +1,81 @@
+#include "taxonomy/taxonomy.h"
+
+namespace wiclean {
+
+Result<TypeId> TypeTaxonomy::AddRoot(std::string name) {
+  if (!names_.empty()) {
+    return Status::FailedPrecondition("taxonomy already has a root");
+  }
+  names_.push_back(name);
+  parents_.push_back(kInvalidTypeId);
+  depths_.push_back(0);
+  by_name_.emplace(std::move(name), 0);
+  return TypeId{0};
+}
+
+Result<TypeId> TypeTaxonomy::AddType(std::string name, TypeId parent) {
+  if (names_.empty()) {
+    return Status::FailedPrecondition("add a root before adding types");
+  }
+  if (!IsValid(parent)) {
+    return Status::InvalidArgument("invalid parent type id " +
+                                   std::to_string(parent));
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("type '" + name + "' already defined");
+  }
+  TypeId id = static_cast<TypeId>(names_.size());
+  names_.push_back(name);
+  parents_.push_back(parent);
+  depths_.push_back(depths_[parent] + 1);
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+Result<TypeId> TypeTaxonomy::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown type '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool TypeTaxonomy::IsA(TypeId specific, TypeId general) const {
+  if (!IsValid(specific) || !IsValid(general)) return false;
+  TypeId t = specific;
+  while (t != kInvalidTypeId) {
+    if (t == general) return true;
+    t = parents_[t];
+  }
+  return false;
+}
+
+std::vector<TypeId> TypeTaxonomy::AncestorsOf(TypeId t) const {
+  std::vector<TypeId> out;
+  while (IsValid(t)) {
+    out.push_back(t);
+    t = parents_[t];
+  }
+  return out;
+}
+
+std::vector<TypeId> TypeTaxonomy::DescendantsOf(TypeId t) const {
+  std::vector<TypeId> out;
+  for (TypeId cand = 0; static_cast<size_t>(cand) < names_.size(); ++cand) {
+    if (IsA(cand, t)) out.push_back(cand);
+  }
+  return out;
+}
+
+TypeId TypeTaxonomy::Lca(TypeId a, TypeId b) const {
+  if (!IsValid(a) || !IsValid(b)) return kInvalidTypeId;
+  while (depths_[a] > depths_[b]) a = parents_[a];
+  while (depths_[b] > depths_[a]) b = parents_[b];
+  while (a != b) {
+    a = parents_[a];
+    b = parents_[b];
+  }
+  return a;
+}
+
+}  // namespace wiclean

@@ -1,0 +1,88 @@
+#ifndef WICLEAN_TAXONOMY_TAXONOMY_H_
+#define WICLEAN_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wiclean {
+
+/// Dense identifier of an entity type in a TypeTaxonomy. The root type always
+/// has id 0.
+using TypeId = int32_t;
+
+inline constexpr TypeId kInvalidTypeId = -1;
+
+/// The Wikipedia/DBPedia-style type hierarchy (§3: "the types belong to a
+/// type taxonomy — the higher the type is in the taxonomy the more general it
+/// is"; typically ~8 hierarchy levels).
+///
+/// The taxonomy is a rooted tree: every type except the root has exactly one
+/// parent that strictly generalizes it. We write t' ≤ t ("t' is-a t") when t
+/// equals t' or is an ancestor of t'. Action abstraction (§3, "abstract
+/// actions") enumerates exactly the ancestors of an entity's most-specific
+/// type.
+///
+/// Build once with AddRoot/AddType, then treat as immutable; all queries are
+/// const and thread-safe after construction.
+class TypeTaxonomy {
+ public:
+  TypeTaxonomy() = default;
+
+  /// Creates the root type (e.g. "thing"). Must be called exactly once,
+  /// before any AddType.
+  Result<TypeId> AddRoot(std::string name);
+
+  /// Adds `name` as a direct child of `parent`. Names must be unique.
+  Result<TypeId> AddType(std::string name, TypeId parent);
+
+  size_t num_types() const { return names_.size(); }
+  TypeId root() const { return names_.empty() ? kInvalidTypeId : 0; }
+
+  bool IsValid(TypeId t) const {
+    return t >= 0 && static_cast<size_t>(t) < names_.size();
+  }
+
+  const std::string& Name(TypeId t) const { return names_[t]; }
+
+  /// Id of the type named `name`, or NotFound.
+  Result<TypeId> Find(std::string_view name) const;
+
+  /// Parent of `t`; kInvalidTypeId for the root.
+  TypeId Parent(TypeId t) const { return parents_[t]; }
+
+  /// Distance from the root (root = 0).
+  int Depth(TypeId t) const { return depths_[t]; }
+
+  /// True iff `specific` ≤ `general`: they are equal or `general` is an
+  /// ancestor of `specific`.
+  bool IsA(TypeId specific, TypeId general) const;
+
+  /// True iff one of the two is an ancestor-or-self of the other.
+  bool Comparable(TypeId a, TypeId b) const {
+    return IsA(a, b) || IsA(b, a);
+  }
+
+  /// `t` and all its ancestors, ordered from `t` up to the root.
+  std::vector<TypeId> AncestorsOf(TypeId t) const;
+
+  /// All types t' with t' ≤ t (including t itself), in id order.
+  std::vector<TypeId> DescendantsOf(TypeId t) const;
+
+  /// Lowest common ancestor.
+  TypeId Lca(TypeId a, TypeId b) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<TypeId> parents_;
+  std::vector<int> depths_;
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_TAXONOMY_TAXONOMY_H_

@@ -1,0 +1,146 @@
+#include "wikitext/infobox.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace wiclean {
+namespace {
+
+constexpr std::string_view kInfoboxOpen = "{{Infobox";
+
+/// Extracts every [[Target]] / [[Target|display]] in `text`, appending
+/// (relation, Target) pairs. Returns Corruption on an unterminated link.
+Status ExtractLinks(std::string_view text, const std::string& relation,
+                    std::vector<InfoboxLink>* out) {
+  size_t pos = 0;
+  for (;;) {
+    size_t open = text.find("[[", pos);
+    if (open == std::string_view::npos) return Status::OK();
+    size_t close = text.find("]]", open + 2);
+    if (close == std::string_view::npos) {
+      return Status::Corruption("unterminated wikilink in attribute '" +
+                                relation + "'");
+    }
+    std::string_view inner = text.substr(open + 2, close - open - 2);
+    // [[Target|display]] -> Target
+    size_t pipe = inner.find('|');
+    if (pipe != std::string_view::npos) inner = inner.substr(0, pipe);
+    inner = StripWhitespace(inner);
+    if (!inner.empty()) {
+      out->push_back(InfoboxLink{relation, std::string(inner)});
+    }
+    pos = close + 2;
+  }
+}
+
+}  // namespace
+
+std::string RenderPage(const std::string& title,
+                       const std::string& infobox_class,
+                       const std::vector<InfoboxLink>& links) {
+  // Group links by relation, preserving first-appearance order of relations.
+  std::vector<std::pair<std::string, std::vector<std::string>>> groups;
+  for (const InfoboxLink& link : links) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return g.first == link.relation;
+    });
+    if (it == groups.end()) {
+      groups.push_back({link.relation, {link.target_title}});
+    } else {
+      it->second.push_back(link.target_title);
+    }
+  }
+
+  std::string out = "{{Infobox ";
+  out += infobox_class;
+  out += "\n";
+  for (const auto& [relation, targets] : groups) {
+    out += "| ";
+    out += relation;
+    out += " = ";
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "[[";
+      out += targets[i];
+      out += "]]";
+    }
+    out += "\n";
+  }
+  out += "}}\n\n'''";
+  out += title;
+  out += "''' is an article in the synthetic encyclopedia.\n";
+  return out;
+}
+
+Result<ParsedPage> ParsePage(const std::string& wikitext) {
+  ParsedPage page;
+  size_t open = wikitext.find(kInfoboxOpen);
+  if (open == std::string::npos) return page;  // no structured section
+
+  // Find the matching "}}" at template nesting depth 0. The generator never
+  // nests templates, but a parser of real dumps must not be fooled by "{{"
+  // inside attribute values.
+  size_t pos = open + kInfoboxOpen.size();
+  int depth = 1;
+  size_t body_end = std::string::npos;
+  while (pos + 1 < wikitext.size()) {
+    if (wikitext[pos] == '{' && wikitext[pos + 1] == '{') {
+      ++depth;
+      pos += 2;
+    } else if (wikitext[pos] == '}' && wikitext[pos + 1] == '}') {
+      --depth;
+      if (depth == 0) {
+        body_end = pos;
+        break;
+      }
+      pos += 2;
+    } else {
+      ++pos;
+    }
+  }
+  if (body_end == std::string::npos) {
+    return Status::Corruption("unterminated {{Infobox}} template");
+  }
+
+  std::string_view body(wikitext.data() + open + kInfoboxOpen.size(),
+                        body_end - open - kInfoboxOpen.size());
+
+  // First line (up to the first '|' or newline) is the infobox class.
+  size_t header_end = body.find_first_of("|\n");
+  if (header_end == std::string_view::npos) header_end = body.size();
+  page.infobox_class = std::string(StripWhitespace(body.substr(0, header_end)));
+
+  // Attribute lines: "| attr = value".
+  for (const std::string& line_raw : SplitString(body, '\n')) {
+    std::string_view line = StripWhitespace(line_raw);
+    if (line.empty() || line[0] != '|') continue;
+    line.remove_prefix(1);
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;  // tolerated: bare parameter
+    std::string attr(StripWhitespace(line.substr(0, eq)));
+    if (attr.empty()) continue;
+    WICLEAN_RETURN_IF_ERROR(
+        ExtractLinks(line.substr(eq + 1), attr, &page.links));
+  }
+  return page;
+}
+
+Result<LinkDelta> DiffRevisions(const std::string& before,
+                                const std::string& after) {
+  WICLEAN_ASSIGN_OR_RETURN(ParsedPage old_page, ParsePage(before));
+  WICLEAN_ASSIGN_OR_RETURN(ParsedPage new_page, ParsePage(after));
+
+  std::set<InfoboxLink> old_set(old_page.links.begin(), old_page.links.end());
+  std::set<InfoboxLink> new_set(new_page.links.begin(), new_page.links.end());
+
+  LinkDelta delta;
+  std::set_difference(old_set.begin(), old_set.end(), new_set.begin(),
+                      new_set.end(), std::back_inserter(delta.removed));
+  std::set_difference(new_set.begin(), new_set.end(), old_set.begin(),
+                      old_set.end(), std::back_inserter(delta.added));
+  return delta;
+}
+
+}  // namespace wiclean

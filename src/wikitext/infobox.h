@@ -1,0 +1,71 @@
+#ifndef WICLEAN_WIKITEXT_INFOBOX_H_
+#define WICLEAN_WIKITEXT_INFOBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wiclean {
+
+/// One interlink extracted from a page's structured section: the infobox
+/// attribute name is the relation label, the link target is the object
+/// article (§1: links "in the structured sections of Wikipedia (such as
+/// infoboxes and tables)").
+struct InfoboxLink {
+  std::string relation;      // infobox attribute, e.g. "current_club"
+  std::string target_title;  // linked article title, e.g. "Paris Saint-Germain"
+
+  bool operator==(const InfoboxLink& other) const {
+    return relation == other.relation && target_title == other.target_title;
+  }
+  bool operator<(const InfoboxLink& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return target_title < other.target_title;
+  }
+};
+
+/// Parsed structured content of one page revision.
+struct ParsedPage {
+  std::string infobox_class;     // e.g. "soccer player"
+  std::vector<InfoboxLink> links;  // in document order
+};
+
+/// Renders a page revision's wikitext: an {{Infobox <class>}} template whose
+/// attributes carry [[wikilinks]], followed by a minimal prose stub. This is
+/// the writer half used by the synthetic dump generator; RenderPage and
+/// ParsePage round-trip.
+///
+/// Attributes with multiple links (e.g. a club's "squad") are rendered as a
+/// comma-separated link list on one attribute line.
+std::string RenderPage(const std::string& title,
+                       const std::string& infobox_class,
+                       const std::vector<InfoboxLink>& links);
+
+/// Parses the structured section of a page revision.
+///
+/// Recognized grammar (a practical subset of MediaWiki syntax):
+///   {{Infobox <class>
+///   | <attr> = ...[[Target]]... [[Target2|display text]] ...
+///   | ...
+///   }}
+/// Text outside the infobox is ignored. Pages with no infobox parse to an
+/// empty link set. Malformed markup — an unterminated "{{Infobox" block or an
+/// unterminated "[[" link inside it — returns Corruption, mirroring the
+/// realities of hand-parsing dump text.
+Result<ParsedPage> ParsePage(const std::string& wikitext);
+
+/// Computes the link edits that turn revision `before` into revision `after`:
+/// links present only in `after` are additions, links present only in
+/// `before` are removals. Duplicate links within one revision are treated as
+/// a set. Returned order: removals then additions, each sorted.
+struct LinkDelta {
+  std::vector<InfoboxLink> removed;
+  std::vector<InfoboxLink> added;
+};
+Result<LinkDelta> DiffRevisions(const std::string& before,
+                                const std::string& after);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_WIKITEXT_INFOBOX_H_

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/action_index.h"
+
+namespace wiclean {
+namespace {
+
+class ActionIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    thing_ = *tax_.AddRoot("thing");
+    person_ = *tax_.AddType("person", thing_);
+    athlete_ = *tax_.AddType("athlete", person_);
+    player_ = *tax_.AddType("player", athlete_);
+    club_ = *tax_.AddType("club", thing_);
+    registry_ = std::make_unique<EntityRegistry>(&tax_);
+    p0_ = *registry_->Register("P0", player_);
+    p1_ = *registry_->Register("P1", player_);
+    c0_ = *registry_->Register("C0", club_);
+  }
+
+  void Add(EntityId subject, const std::string& relation, EntityId object,
+           Timestamp time, EditOp op = EditOp::kAdd) {
+    store_.Add(Action{op, subject, relation, object, time});
+  }
+
+  TypeTaxonomy tax_;
+  TypeId thing_, person_, athlete_, player_, club_;
+  std::unique_ptr<EntityRegistry> registry_;
+  RevisionStore store_;
+  EntityId p0_, p1_, c0_;
+};
+
+TEST_F(ActionIndexTest, KeyEncodingIsInjective) {
+  AbstractActionKey a{EditOp::kAdd, 1, "r", 2};
+  AbstractActionKey b{EditOp::kRemove, 1, "r", 2};
+  AbstractActionKey c{EditOp::kAdd, 1, "r2", 2};
+  AbstractActionKey d{EditOp::kAdd, 12, "r", 2};
+  EXPECT_NE(a.Encode(), b.Encode());
+  EXPECT_NE(a.Encode(), c.Encode());
+  EXPECT_NE(a.Encode(), d.Encode());
+  EXPECT_EQ(a.Encode(), (AbstractActionKey{EditOp::kAdd, 1, "r", 2}.Encode()));
+}
+
+TEST_F(ActionIndexTest, AbstractionLevelsRespectLift) {
+  Add(p0_, "current_club", c0_, 10);
+  // player has ancestors player < athlete < person < thing; club < thing.
+  {
+    ActionIndex index(registry_.get(), &store_, TimeWindow{0, 100},
+                      /*max_abstraction_lift=*/0);
+    index.AddEntities({p0_});
+    // Base types only: 1 entry.
+    EXPECT_EQ(index.entries().size(), 1u);
+  }
+  {
+    ActionIndex index(registry_.get(), &store_, TimeWindow{0, 100},
+                      /*max_abstraction_lift=*/1);
+    index.AddEntities({p0_});
+    // Source at {player, athlete} x target at {club, thing} = 4 entries.
+    EXPECT_EQ(index.entries().size(), 4u);
+  }
+  {
+    ActionIndex index(registry_.get(), &store_, TimeWindow{0, 100},
+                      /*max_abstraction_lift=*/3);
+    index.AddEntities({p0_});
+    // Source at 4 levels x target capped at 2 levels = 8 entries.
+    EXPECT_EQ(index.entries().size(), 8u);
+  }
+}
+
+TEST_F(ActionIndexTest, RealizationRowsCarryTimestamps) {
+  Add(p0_, "current_club", c0_, 42);
+  ActionIndex index(registry_.get(), &store_, TimeWindow{0, 100}, 0);
+  index.AddEntities({p0_});
+  const AbstractActionEntry& entry = index.entries().begin()->second;
+  ASSERT_EQ(entry.realizations.num_rows(), 1u);
+  EXPECT_EQ(entry.realizations.column(0).Int64At(0), p0_);
+  EXPECT_EQ(entry.realizations.column(1).Int64At(0), c0_);
+  EXPECT_EQ(entry.realizations.column(2).Int64At(0), 42);
+}
+
+TEST_F(ActionIndexTest, IngestionIsIdempotentPerEntity) {
+  Add(p0_, "current_club", c0_, 10);
+  ActionIndex index(registry_.get(), &store_, TimeWindow{0, 100}, 0);
+  EXPECT_EQ(index.AddEntities({p0_}), 1u);
+  EXPECT_EQ(index.AddEntities({p0_}), 0u);  // already ingested
+  EXPECT_EQ(index.AddEntities({p0_, p1_}), 1u);
+  EXPECT_TRUE(index.HasEntity(p0_));
+  EXPECT_EQ(index.num_entities_ingested(), 2u);
+  const AbstractActionEntry& entry = index.entries().begin()->second;
+  EXPECT_EQ(entry.realizations.num_rows(), 1u);  // no duplicate rows
+}
+
+TEST_F(ActionIndexTest, WindowFiltersAndReduces) {
+  Add(p0_, "current_club", c0_, 10);
+  Add(p0_, "current_club", c0_, 20, EditOp::kRemove);  // cancels within window
+  Add(p1_, "current_club", c0_, 150);                  // outside window
+  ActionIndex index(registry_.get(), &store_, TimeWindow{0, 100}, 0);
+  index.AddEntities({p0_, p1_});
+  EXPECT_TRUE(index.entries().empty());
+  EXPECT_EQ(index.num_actions_ingested(), 0u);
+}
+
+TEST_F(ActionIndexTest, FilterRealizationsByBindings) {
+  Add(p0_, "current_club", c0_, 10);
+  Add(p1_, "current_club", c0_, 11);
+  ActionIndex index(registry_.get(), &store_, TimeWindow{0, 100}, 0);
+  index.AddEntities({p0_, p1_});
+  const relational::Table& all = index.entries().begin()->second.realizations;
+  ASSERT_EQ(all.num_rows(), 2u);
+
+  relational::Table only_p0 =
+      FilterRealizationsByBindings(all, p0_, kInvalidEntityId);
+  ASSERT_EQ(only_p0.num_rows(), 1u);
+  EXPECT_EQ(only_p0.column(0).Int64At(0), p0_);
+
+  relational::Table both_free =
+      FilterRealizationsByBindings(all, kInvalidEntityId, kInvalidEntityId);
+  EXPECT_EQ(both_free.num_rows(), 2u);
+
+  relational::Table none =
+      FilterRealizationsByBindings(all, p0_, p1_);  // mismatched pair
+  EXPECT_EQ(none.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace wiclean

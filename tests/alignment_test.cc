@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dump/alignment.h"
+#include "synth/catalog.h"
+
+namespace wiclean {
+namespace {
+
+TEST(AlignmentTest, TaxonomyRoundTrip) {
+  Result<CatalogTaxonomy> catalog = BuildCatalogTaxonomy();
+  ASSERT_TRUE(catalog.ok());
+  std::ostringstream out;
+  WriteTaxonomy(*catalog->taxonomy, &out);
+
+  std::istringstream in(out.str());
+  Result<std::unique_ptr<TypeTaxonomy>> loaded = LoadTaxonomy(&in);
+  ASSERT_TRUE(loaded.ok());
+  const TypeTaxonomy& tax = **loaded;
+  EXPECT_EQ(tax.num_types(), catalog->taxonomy->num_types());
+  Result<TypeId> player = tax.Find("soccer_player");
+  ASSERT_TRUE(player.ok());
+  Result<TypeId> person = tax.Find("person");
+  ASSERT_TRUE(person.ok());
+  EXPECT_TRUE(tax.IsA(*player, *person));
+}
+
+TEST(AlignmentTest, TaxonomyParsing) {
+  std::istringstream in(
+      "# comment\n"
+      "thing\n"
+      "\n"
+      "agent\tthing\n"
+      "person\tagent\n");
+  Result<std::unique_ptr<TypeTaxonomy>> loaded = LoadTaxonomy(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_types(), 3u);
+}
+
+TEST(AlignmentTest, TaxonomyErrors) {
+  {
+    std::istringstream in("child\tmissing_parent\n");
+    Result<std::unique_ptr<TypeTaxonomy>> loaded = LoadTaxonomy(&in);
+    ASSERT_FALSE(loaded.ok());
+    // Line numbers make parse errors actionable.
+    EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+  }
+  {
+    std::istringstream in("root\nroot2\n");  // two roots
+    EXPECT_FALSE(LoadTaxonomy(&in).ok());
+  }
+  {
+    std::istringstream in("# only comments\n");
+    EXPECT_FALSE(LoadTaxonomy(&in).ok());
+  }
+}
+
+TEST(AlignmentTest, AlignmentRoundTrip) {
+  Result<CatalogTaxonomy> catalog = BuildCatalogTaxonomy();
+  ASSERT_TRUE(catalog.ok());
+  EntityRegistry registry(catalog->taxonomy.get());
+  ASSERT_TRUE(registry.Register("Neymar", catalog->types.soccer_player).ok());
+  ASSERT_TRUE(registry.Register("PSG", catalog->types.soccer_club).ok());
+
+  std::ostringstream out;
+  WriteAlignment(registry, &out);
+
+  std::istringstream in(out.str());
+  Result<std::unique_ptr<EntityRegistry>> loaded =
+      LoadAlignment(&in, catalog->taxonomy.get());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->size(), 2u);
+  Result<EntityId> neymar = (*loaded)->FindByName("Neymar");
+  ASSERT_TRUE(neymar.ok());
+  EXPECT_EQ((*loaded)->TypeOf(*neymar), catalog->types.soccer_player);
+}
+
+TEST(AlignmentTest, AlignmentErrors) {
+  Result<CatalogTaxonomy> catalog = BuildCatalogTaxonomy();
+  ASSERT_TRUE(catalog.ok());
+  {
+    std::istringstream in("Neymar\tnot_a_type\n");
+    EXPECT_FALSE(LoadAlignment(&in, catalog->taxonomy.get()).ok());
+  }
+  {
+    std::istringstream in("NoTabHere\n");
+    EXPECT_FALSE(LoadAlignment(&in, catalog->taxonomy.get()).ok());
+  }
+  {
+    std::istringstream in(
+        "Neymar\tsoccer_player\n"
+        "Neymar\tsoccer_player\n");  // duplicate title
+    EXPECT_FALSE(LoadAlignment(&in, catalog->taxonomy.get()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace wiclean

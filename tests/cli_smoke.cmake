@@ -1,0 +1,68 @@
+# Drives the wiclean CLI end to end: generate a corpus, mine it, detect
+# errors, and check the outputs exist and look sane.
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${WICLEAN} synth --out-dir ${WORK_DIR} --seeds 80 --years 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "synth failed: ${out}${err}")
+endif()
+foreach(f dump.xml taxonomy.tsv alignment.tsv)
+  if(NOT EXISTS ${WORK_DIR}/${f})
+    message(FATAL_ERROR "missing ${f}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${WICLEAN} mine
+    --dump ${WORK_DIR}/dump.xml
+    --taxonomy ${WORK_DIR}/taxonomy.tsv
+    --alignment ${WORK_DIR}/alignment.tsv
+    --seed-type soccer_player --threshold 0.8
+    --json ${WORK_DIR}/report.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mine failed: ${out}${err}")
+endif()
+if(NOT out MATCHES "pattern\\(s\\) in")
+  message(FATAL_ERROR "mine summary missing: ${out}")
+endif()
+file(READ ${WORK_DIR}/report.json json)
+if(NOT json MATCHES "\"patterns\"")
+  message(FATAL_ERROR "JSON report malformed")
+endif()
+
+execute_process(
+  COMMAND ${WICLEAN} detect
+    --dump ${WORK_DIR}/dump.xml
+    --taxonomy ${WORK_DIR}/taxonomy.tsv
+    --alignment ${WORK_DIR}/alignment.tsv
+    --seed-type soccer_player --threshold 0.8
+    --csv ${WORK_DIR}/signals.csv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "detect failed: ${out}${err}")
+endif()
+if(NOT out MATCHES "potential error")
+  message(FATAL_ERROR "detect summary missing: ${out}")
+endif()
+file(READ ${WORK_DIR}/signals.csv csv)
+if(NOT csv MATCHES "pattern,window_begin_day")
+  message(FATAL_ERROR "CSV header missing")
+endif()
+
+# Error paths: bad inputs must fail with a clear message.
+execute_process(
+  COMMAND ${WICLEAN} mine --dump /nonexistent --taxonomy /nonexistent
+    --alignment /nonexistent --seed-type x
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "mine with bad inputs should fail")
+endif()
+execute_process(
+  COMMAND ${WICLEAN} bogus-subcommand
+  RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand should fail")
+endif()

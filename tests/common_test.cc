@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "common/thread_pool.h"
+
+namespace wiclean {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kCorruption,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_NE(StatusCodeName(code), "UnknownCode");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubled(Result<int> input) {
+  WICLEAN_ASSIGN_OR_RETURN(int v, std::move(input));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::NotFound("x")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------- Strings ----------
+
+TEST(StringsTest, SplitString) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("wikipedia", "wiki"));
+  EXPECT_FALSE(StartsWith("wiki", "wikipedia"));
+  EXPECT_TRUE(EndsWith("dump.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", "dump.xml"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-17"), -17);
+  EXPECT_EQ(*ParseInt64("+5"), 5);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64(" 12").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());  // overflow
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a&b&c", "&", "&amp;"), "a&amp;b&amp;c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+TEST(StringsTest, HashIsStable) {
+  EXPECT_EQ(Fnv1a64("wiclean"), Fnv1a64("wiclean"));
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(4);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, WeightedPicksHeavyBucket) {
+  Rng rng(6);
+  int heavy = 0;
+  for (int i = 0; i < 1000; ++i) {
+    heavy += rng.NextWeighted({0.1, 0.9}) == 1;
+  }
+  EXPECT_GT(heavy, 800);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(10), b(10);
+  Rng fa = a.Fork(), fb = b.Fork();
+  EXPECT_EQ(fa.NextU64(), fb.NextU64());
+}
+
+// ---------- Logging ----------
+
+TEST(LoggingTest, LevelGateRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Suppressed levels must not evaluate their stream arguments' side
+  // effects... they do evaluate (stream insertion is ordinary code), but the
+  // macro must compile and not emit. Just exercise the paths.
+  WICLEAN_LOG(Info) << "suppressed";
+  WICLEAN_LOG(Error) << "emitted to stderr";
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  WICLEAN_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+// ---------- Timer ----------
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  // Busy-wait a tiny, deterministic amount of work.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<uint64_t>(i);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), 0);
+  double first = t.ElapsedSeconds();
+  t.Restart();
+  EXPECT_LE(t.ElapsedSeconds(), first + 1.0);  // restarted near zero
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace wiclean

@@ -1,0 +1,113 @@
+// Robustness sweep for the streaming dump reader and the wikitext parser:
+// mutate valid inputs at random positions and require a clean outcome every
+// time — either a successful parse or a Status error, never a crash or hang.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "dump/dump.h"
+#include "wikitext/infobox.h"
+
+namespace wiclean {
+namespace {
+
+std::string ValidDump() {
+  std::ostringstream out;
+  DumpWriter writer(&out);
+  writer.Begin();
+  for (int p = 0; p < 3; ++p) {
+    DumpPage page;
+    page.title = "Page" + std::to_string(p);
+    page.page_id = p;
+    for (int r = 0; r < 3; ++r) {
+      DumpRevision rev;
+      rev.revision_id = r + 1;
+      rev.timestamp = 100 * r;
+      rev.contributor = "editor";
+      rev.comment = "c";
+      rev.text = RenderPage(page.title, "thing",
+                            {{"rel" + std::to_string(r), "Target"}});
+      page.revisions.push_back(rev);
+    }
+    writer.WritePage(page);
+  }
+  EXPECT_TRUE(writer.End().ok());
+  return out.str();
+}
+
+class DumpFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DumpFuzzTest, MutatedDumpNeverCrashes) {
+  std::string base = ValidDump();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = base;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(4)) {
+        case 0:  // flip a byte
+          mutated[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:  // delete a span
+          mutated.erase(pos, rng.NextBelow(16) + 1);
+          break;
+        case 2:  // duplicate a span
+          mutated.insert(pos, mutated.substr(
+                                  pos, std::min<size_t>(
+                                           16, mutated.size() - pos)));
+          break;
+        case 3:  // truncate
+          mutated.resize(pos);
+          break;
+      }
+      if (mutated.empty()) mutated = "<";
+    }
+    std::istringstream in(mutated);
+    size_t pages = 0;
+    Status status = DumpReader::ReadAll(&in, [&](const DumpPage& page) {
+      ++pages;
+      // Whatever parsed must be structurally sane.
+      EXPECT_LE(page.revisions.size(), 64u);
+      return Status::OK();
+    });
+    // Either outcome is fine; the property is "no crash, bounded work".
+    (void)status;
+    EXPECT_LE(pages, 16u);
+  }
+}
+
+TEST_P(DumpFuzzTest, MutatedWikitextNeverCrashes) {
+  std::string base = RenderPage(
+      "X", "soccer player",
+      {{"current_club", "PSG"}, {"squad", "A"}, {"squad", "B"}});
+  Rng rng(GetParam() ^ 0x9e3779b9);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string mutated = base;
+    size_t pos = rng.NextBelow(mutated.size());
+    switch (rng.NextBelow(3)) {
+      case 0:
+        mutated[pos] = static_cast<char>(rng.NextBelow(256));
+        break;
+      case 1:
+        mutated.insert(pos, "[[{{|]]}}");
+        break;
+      case 2:
+        mutated.resize(pos);
+        break;
+    }
+    Result<ParsedPage> parsed = ParsePage(mutated);
+    if (parsed.ok()) {
+      EXPECT_LE(parsed->links.size(), 64u);
+    } else {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DumpFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace wiclean

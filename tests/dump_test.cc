@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "dump/dump.h"
+#include "dump/ingest.h"
+#include "dump/xml_util.h"
+#include "synth/dump_render.h"
+#include "synth/synthesizer.h"
+#include "wikitext/infobox.h"
+
+namespace wiclean {
+namespace {
+
+// ---------- XML escaping ----------
+
+TEST(XmlUtilTest, EscapeRoundTrip) {
+  std::string raw = "a & b < c > \"d\" & [[X|Y]]";
+  EXPECT_EQ(XmlUnescape(XmlEscape(raw)), raw);
+}
+
+TEST(XmlUtilTest, UnknownEntityPassesThrough) {
+  EXPECT_EQ(XmlUnescape("&bogus; &amp;"), "&bogus; &");
+}
+
+// ---------- writer/reader round trip ----------
+
+DumpPage SamplePage() {
+  DumpPage page;
+  page.title = "Neymar & Friends";
+  page.page_id = 7;
+  DumpRevision r1;
+  r1.revision_id = 1;
+  r1.timestamp = 100;
+  r1.contributor = "editor<1>";
+  r1.comment = "create \"page\"";
+  r1.text = RenderPage("Neymar & Friends", "player",
+                       {{"current_club", "Barcelona"}});
+  DumpRevision r2 = r1;
+  r2.revision_id = 2;
+  r2.timestamp = 200;
+  r2.comment = "transfer";
+  r2.text =
+      RenderPage("Neymar & Friends", "player", {{"current_club", "PSG"}});
+  page.revisions = {r1, r2};
+  return page;
+}
+
+TEST(DumpRoundTripTest, WriteThenRead) {
+  std::ostringstream out;
+  DumpWriter writer(&out);
+  writer.Begin();
+  DumpPage original = SamplePage();
+  writer.WritePage(original);
+  ASSERT_TRUE(writer.End().ok());
+
+  std::istringstream in(out.str());
+  std::vector<DumpPage> pages;
+  ASSERT_TRUE(DumpReader::ReadAll(&in, [&](const DumpPage& p) {
+                pages.push_back(p);
+                return Status::OK();
+              }).ok());
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_EQ(pages[0].title, original.title);
+  EXPECT_EQ(pages[0].page_id, original.page_id);
+  ASSERT_EQ(pages[0].revisions.size(), 2u);
+  EXPECT_EQ(pages[0].revisions[1].text, original.revisions[1].text);
+  EXPECT_EQ(pages[0].revisions[0].contributor, "editor<1>");
+}
+
+TEST(DumpRoundTripTest, EmptyDump) {
+  std::ostringstream out;
+  DumpWriter writer(&out);
+  writer.Begin();
+  ASSERT_TRUE(writer.End().ok());
+  std::istringstream in(out.str());
+  size_t pages = 0;
+  ASSERT_TRUE(DumpReader::ReadAll(&in, [&](const DumpPage&) {
+                ++pages;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(pages, 0u);
+}
+
+TEST(DumpReaderTest, MalformedInputsAreCorruption) {
+  for (const char* bad : {
+           "",                                             // empty
+           "<mediawiki>",                                  // unterminated
+           "<mediawiki><page><title>X</title>",            // truncated page
+           "<mediawiki><page><title>X</title><id>nan</id>"
+           "</page></mediawiki>",                          // bad id
+           "<mediawiki></mediawiki> trailing",             // trailing junk
+       }) {
+    std::istringstream in(bad);
+    Status s = DumpReader::ReadAll(
+        &in, [](const DumpPage&) { return Status::OK(); });
+    EXPECT_FALSE(s.ok()) << "input: " << bad;
+  }
+}
+
+TEST(DumpReaderTest, CallbackErrorStopsRead) {
+  std::ostringstream out;
+  DumpWriter writer(&out);
+  writer.Begin();
+  writer.WritePage(SamplePage());
+  writer.WritePage([] {
+    DumpPage p = SamplePage();
+    p.title = "Second";
+    return p;
+  }());
+  ASSERT_TRUE(writer.End().ok());
+
+  std::istringstream in(out.str());
+  size_t seen = 0;
+  Status s = DumpReader::ReadAll(&in, [&](const DumpPage&) -> Status {
+    ++seen;
+    return Status::Internal("stop");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(seen, 1u);
+}
+
+// ---------- ingestion ----------
+
+class IngestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    thing_ = *tax_.AddRoot("thing");
+    player_ = *tax_.AddType("player", thing_);
+    club_ = *tax_.AddType("club", thing_);
+    registry_ = std::make_unique<EntityRegistry>(&tax_);
+    neymar_ = *registry_->Register("Neymar", player_);
+    barca_ = *registry_->Register("Barcelona", club_);
+    psg_ = *registry_->Register("PSG", club_);
+  }
+
+  TypeTaxonomy tax_;
+  TypeId thing_, player_, club_;
+  std::unique_ptr<EntityRegistry> registry_;
+  EntityId neymar_, barca_, psg_;
+};
+
+TEST_F(IngestTest, RecoversActionsFromRevisionDiffs) {
+  DumpPage page;
+  page.title = "Neymar";
+  page.page_id = 1;
+  DumpRevision r1;
+  r1.revision_id = 1;
+  r1.timestamp = 100;
+  r1.text = RenderPage("Neymar", "player", {{"current_club", "Barcelona"}});
+  DumpRevision r2;
+  r2.revision_id = 2;
+  r2.timestamp = 200;
+  r2.text = RenderPage("Neymar", "player", {{"current_club", "PSG"}});
+  page.revisions = {r1, r2};
+
+  RevisionStore store;
+  IngestStats stats;
+  ASSERT_TRUE(IngestPage(page, *registry_, &store, {}, &stats).ok());
+  // Revision 1: +Barcelona. Revision 2: -Barcelona, +PSG.
+  EXPECT_EQ(stats.actions, 3u);
+  const std::vector<Action>& log = store.LogOf(neymar_);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].op, EditOp::kAdd);
+  EXPECT_EQ(log[0].object, barca_);
+  EXPECT_EQ(log[1].time, 200);
+}
+
+TEST_F(IngestTest, UnknownPagePolicies) {
+  DumpPage page;
+  page.title = "Unknown Article";
+  page.page_id = 9;
+
+  RevisionStore store;
+  IngestStats stats;
+  ASSERT_TRUE(IngestPage(page, *registry_, &store, {}, &stats).ok());
+  EXPECT_EQ(stats.unknown_pages, 1u);
+
+  IngestOptions strict;
+  strict.strict_pages = true;
+  EXPECT_FALSE(IngestPage(page, *registry_, &store, strict, &stats).ok());
+}
+
+TEST_F(IngestTest, UnresolvedLinkTargetsSkipped) {
+  DumpPage page;
+  page.title = "Neymar";
+  page.page_id = 1;
+  DumpRevision r;
+  r.revision_id = 1;
+  r.timestamp = 100;
+  r.text = RenderPage("Neymar", "player", {{"friend", "NotAnEntity"}});
+  page.revisions = {r};
+
+  RevisionStore store;
+  IngestStats stats;
+  ASSERT_TRUE(IngestPage(page, *registry_, &store, {}, &stats).ok());
+  EXPECT_EQ(stats.unresolved_links, 1u);
+  EXPECT_EQ(stats.actions, 0u);
+}
+
+TEST_F(IngestTest, CorruptWikitextPropagates) {
+  DumpPage page;
+  page.title = "Neymar";
+  page.page_id = 1;
+  DumpRevision r;
+  r.revision_id = 1;
+  r.timestamp = 100;
+  r.text = "{{Infobox player\n| club = [[PSG";
+  page.revisions = {r};
+
+  RevisionStore store;
+  IngestStats stats;
+  EXPECT_EQ(IngestPage(page, *registry_, &store, {}, &stats).code(),
+            StatusCode::kCorruption);
+}
+
+// ---------- synthetic world dump round trip ----------
+
+TEST(SynthDumpTest, DumpIngestReconstructsReducedActions) {
+  SynthOptions options;
+  options.seed_entities = 30;
+  options.years = 1;
+  options.rng_seed = 11;
+  Result<SynthWorld> world = Synthesize(options);
+  ASSERT_TRUE(world.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDump(*world, 0, kSecondsPerYear, &out).ok());
+
+  std::istringstream in(out.str());
+  RevisionStore reconstructed;
+  Result<IngestStats> stats =
+      IngestDump(&in, *world->registry, &reconstructed, {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->pages, 0u);
+  EXPECT_GT(stats->actions, 0u);
+  EXPECT_EQ(stats->unknown_pages, 0u);
+  EXPECT_EQ(stats->unresolved_links, 0u);
+
+  // The reconstructed store must reduce to the same net effect per entity.
+  // (The baseline revision carries initial links, so only edits after t=0
+  // appear as actions; compare reduced sets modulo timestamps.)
+  TimeWindow year{0, kSecondsPerYear};
+  for (size_t i = 0; i < world->registry->size(); ++i) {
+    EntityId id = static_cast<EntityId>(i);
+    std::vector<Action> expected =
+        ReduceActions(world->store.ActionsInWindow(id, year));
+    std::vector<Action> got =
+        ReduceActions(reconstructed.ActionsInWindow(id, year));
+    ASSERT_EQ(expected.size(), got.size()) << "entity " << i;
+    auto key = [](const Action& a) {
+      return std::to_string(static_cast<int>(a.op)) + "|" +
+             std::to_string(a.subject) + "|" + a.relation + "|" +
+             std::to_string(a.object);
+    };
+    std::multiset<std::string> e_keys, g_keys;
+    for (const Action& a : expected) e_keys.insert(key(a));
+    for (const Action& a : got) g_keys.insert(key(a));
+    EXPECT_EQ(e_keys, g_keys) << "entity " << i;
+  }
+}
+
+}  // namespace
+}  // namespace wiclean

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "graph/entity_registry.h"
+#include "graph/wiki_graph.h"
+
+namespace wiclean {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    thing_ = *tax_.AddRoot("thing");
+    person_ = *tax_.AddType("person", thing_);
+    player_ = *tax_.AddType("player", person_);
+    club_ = *tax_.AddType("club", thing_);
+    registry_ = std::make_unique<EntityRegistry>(&tax_);
+  }
+
+  TypeTaxonomy tax_;
+  TypeId thing_, person_, player_, club_;
+  std::unique_ptr<EntityRegistry> registry_;
+};
+
+TEST_F(GraphTest, RegisterAndLookup) {
+  EntityId neymar = *registry_->Register("Neymar", player_);
+  EntityId psg = *registry_->Register("PSG", club_);
+  EXPECT_EQ(registry_->size(), 2u);
+  EXPECT_EQ(*registry_->FindByName("Neymar"), neymar);
+  EXPECT_FALSE(registry_->FindByName("Messi").ok());
+  EXPECT_EQ(registry_->Get(psg).name, "PSG");
+  EXPECT_EQ(registry_->TypeOf(neymar), player_);
+  EXPECT_EQ(registry_->TypeOf(999), kInvalidTypeId);
+}
+
+TEST_F(GraphTest, RegisterRejectsDuplicatesAndBadTypes) {
+  ASSERT_TRUE(registry_->Register("Neymar", player_).ok());
+  EXPECT_FALSE(registry_->Register("Neymar", club_).ok());
+  EXPECT_FALSE(registry_->Register("X", 99).ok());
+}
+
+TEST_F(GraphTest, EntitiesOfTypeIncludesSubtypes) {
+  registry_->Register("Neymar", player_);
+  registry_->Register("Some Person", person_);
+  registry_->Register("PSG", club_);
+  EXPECT_EQ(registry_->EntitiesOfType(person_).size(), 2u);
+  EXPECT_EQ(registry_->CountEntitiesOfType(person_), 2u);
+  EXPECT_EQ(registry_->CountEntitiesOfType(player_), 1u);
+  EXPECT_EQ(registry_->CountEntitiesOfType(thing_), 3u);
+}
+
+TEST_F(GraphTest, WikiGraphEdgeLifecycle) {
+  WikiGraph g;
+  EXPECT_TRUE(g.AddEdge(1, "current_club", 2));
+  EXPECT_FALSE(g.AddEdge(1, "current_club", 2));  // duplicate
+  EXPECT_TRUE(g.HasEdge(1, "current_club", 2));
+  EXPECT_FALSE(g.HasEdge(1, "squad", 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+
+  EXPECT_TRUE(g.RemoveEdge(1, "current_club", 2));
+  EXPECT_FALSE(g.RemoveEdge(1, "current_club", 2));  // already gone
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST_F(GraphTest, OutEdges) {
+  WikiGraph g;
+  g.AddEdge(1, "current_club", 2);
+  g.AddEdge(1, "in_league", 3);
+  g.AddEdge(2, "squad", 1);
+  std::vector<Edge> out = g.OutEdges(1);
+  EXPECT_EQ(out.size(), 2u);
+  for (const Edge& e : out) {
+    EXPECT_EQ(e.source, 1);
+    EXPECT_TRUE((e.relation == "current_club" && e.target == 2) ||
+                (e.relation == "in_league" && e.target == 3));
+  }
+  EXPECT_TRUE(g.OutEdges(99).empty());
+}
+
+TEST_F(GraphTest, RelationNamesWithSeparatorsAreSafe) {
+  WikiGraph g;
+  // The internal edge key uses '\0'; a relation containing digits and odd
+  // characters must not collide with another (relation, target) pair.
+  g.AddEdge(1, "rel", 23);
+  EXPECT_FALSE(g.HasEdge(1, "rel2", 3));
+}
+
+}  // namespace
+}  // namespace wiclean

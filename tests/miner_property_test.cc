@@ -1,0 +1,161 @@
+// Property-style sweeps of Algorithm 1 invariants over randomized synthetic
+// worlds: engine/strategy agreement, frequency antitonicity along the
+// specificity order, realization-derived frequency consistency, and
+// reduction/window coherence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/miner.h"
+#include "synth/synthesizer.h"
+
+namespace wiclean {
+namespace {
+
+struct SweepCase {
+  uint64_t rng_seed;
+  size_t seeds;
+  double threshold;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << "seed=" << c.rng_seed << " n=" << c.seeds << " tau=" << c.threshold;
+}
+
+class MinerPropertyTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    SynthOptions options;
+    options.seed_entities = GetParam().seeds;
+    options.years = 1;
+    options.rng_seed = GetParam().rng_seed;
+    Result<SynthWorld> world = Synthesize(options);
+    ASSERT_TRUE(world.ok());
+    world_ = std::make_unique<SynthWorld>(std::move(world).value());
+  }
+
+  MinerOptions Options() const {
+    MinerOptions o;
+    o.frequency_threshold = GetParam().threshold;
+    o.max_abstraction_lift = 1;
+    o.max_pattern_actions = 4;
+    return o;
+  }
+
+  static std::set<std::string> Keys(const std::vector<MinedPattern>& ps) {
+    std::set<std::string> out;
+    for (const MinedPattern& mp : ps) out.insert(mp.pattern.CanonicalKey());
+    return out;
+  }
+
+  std::unique_ptr<SynthWorld> world_;
+  const TimeWindow transfer_window_{224 * kSecondsPerDay,
+                                    238 * kSecondsPerDay};
+};
+
+TEST_P(MinerPropertyTest, JoinEnginesAgreeEverywhere) {
+  MinerOptions hash_options = Options();
+  MinerOptions loop_options = Options();
+  loop_options.join_engine = JoinEngineKind::kNestedLoop;
+  PatternMiner hash(world_->registry.get(), &world_->store, hash_options);
+  PatternMiner loop(world_->registry.get(), &world_->store, loop_options);
+
+  Result<MineWindowResult> h =
+      hash.MineWindow(world_->types.soccer_player, transfer_window_);
+  Result<MineWindowResult> n =
+      loop.MineWindow(world_->types.soccer_player, transfer_window_);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(Keys(h->most_specific), Keys(n->most_specific));
+  EXPECT_EQ(Keys(h->all_frequent), Keys(n->all_frequent));
+}
+
+TEST_P(MinerPropertyTest, FrequencyAntitoneInSpecificity) {
+  // For every mined frequent pattern, every source-connected sub-pattern
+  // (a generalization) must have frequency >= the pattern's.
+  PatternMiner miner(world_->registry.get(), &world_->store, Options());
+  Result<MineWindowResult> result =
+      miner.MineWindow(world_->types.soccer_player, transfer_window_);
+  ASSERT_TRUE(result.ok());
+
+  for (const MinedPattern& mp : result->most_specific) {
+    const size_t n = mp.pattern.num_actions();
+    if (n < 2) continue;
+    for (size_t drop = 0; drop < n; ++drop) {
+      std::vector<size_t> kept;
+      for (size_t i = 0; i < n; ++i) {
+        if (i != drop) kept.push_back(i);
+      }
+      Result<Pattern> sub = SubPattern(mp.pattern, kept);
+      if (!sub.ok() || !sub->IsConnected()) continue;
+      Result<double> sub_freq = miner.EvaluateFrequency(
+          world_->types.soccer_player, *sub, transfer_window_);
+      ASSERT_TRUE(sub_freq.ok());
+      EXPECT_GE(*sub_freq + 1e-9, mp.frequency)
+          << "generalization lost support: "
+          << sub->ToString(*world_->taxonomy);
+    }
+  }
+}
+
+TEST_P(MinerPropertyTest, MinedFrequencyMatchesStandaloneEvaluation) {
+  PatternMiner miner(world_->registry.get(), &world_->store, Options());
+  Result<MineWindowResult> result =
+      miner.MineWindow(world_->types.soccer_player, transfer_window_);
+  ASSERT_TRUE(result.ok());
+  for (const MinedPattern& mp : result->most_specific) {
+    Result<double> f = miner.EvaluateFrequency(world_->types.soccer_player,
+                                               mp.pattern, transfer_window_);
+    ASSERT_TRUE(f.ok());
+    EXPECT_NEAR(*f, mp.frequency, 1e-9)
+        << mp.pattern.ToString(*world_->taxonomy);
+  }
+}
+
+TEST_P(MinerPropertyTest, RealizationSpansLieInsideWindow) {
+  PatternMiner miner(world_->registry.get(), &world_->store, Options());
+  Result<MineWindowResult> result =
+      miner.MineWindow(world_->types.soccer_player, transfer_window_);
+  ASSERT_TRUE(result.ok());
+  for (const MinedPattern& mp : result->most_specific) {
+    Result<std::vector<PatternMiner::RealizationSpan>> spans =
+        miner.EvaluateRealizations(world_->types.soccer_player, mp.pattern,
+                                   transfer_window_);
+    ASSERT_TRUE(spans.ok());
+    EXPECT_GE(spans->size(), mp.support);
+    for (const PatternMiner::RealizationSpan& s : *spans) {
+      EXPECT_LE(s.tmin, s.tmax);
+      EXPECT_TRUE(transfer_window_.Contains(s.tmin));
+      EXPECT_TRUE(transfer_window_.Contains(s.tmax));
+      EXPECT_LE(s.tmax - s.tmin, miner.options().max_realization_span);
+    }
+  }
+}
+
+TEST_P(MinerPropertyTest, DisjointWindowsMineIndependently) {
+  // Mining two disjoint windows and mining them after swapping call order
+  // must give identical results (no hidden shared state).
+  PatternMiner miner(world_->registry.get(), &world_->store, Options());
+  TimeWindow other{210 * kSecondsPerDay, 224 * kSecondsPerDay};
+
+  Result<MineWindowResult> a1 =
+      miner.MineWindow(world_->types.soccer_player, transfer_window_);
+  Result<MineWindowResult> b1 =
+      miner.MineWindow(world_->types.soccer_player, other);
+  Result<MineWindowResult> b2 =
+      miner.MineWindow(world_->types.soccer_player, other);
+  Result<MineWindowResult> a2 =
+      miner.MineWindow(world_->types.soccer_player, transfer_window_);
+  ASSERT_TRUE(a1.ok() && b1.ok() && b2.ok() && a2.ok());
+  EXPECT_EQ(Keys(a1->most_specific), Keys(a2->most_specific));
+  EXPECT_EQ(Keys(b1->most_specific), Keys(b2->most_specific));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MinerPropertyTest,
+    ::testing::Values(SweepCase{11, 60, 0.5}, SweepCase{12, 60, 0.3},
+                      SweepCase{13, 120, 0.5}, SweepCase{14, 120, 0.7},
+                      SweepCase{15, 200, 0.4}, SweepCase{16, 80, 0.2}));
+
+}  // namespace
+}  // namespace wiclean

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+#include "synth/catalog.h"
+
+namespace wiclean {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<CatalogTaxonomy> catalog = BuildCatalogTaxonomy();
+    ASSERT_TRUE(catalog.ok());
+    taxonomy_ = std::move(catalog->taxonomy);
+    types_ = catalog->types;
+  }
+
+  /// {op (source_type#0, relation, target_type#1)}, source #0.
+  Pattern Singleton(TypeId source_type, const std::string& relation,
+                    TypeId target_type, EditOp op = EditOp::kAdd) {
+    Pattern p;
+    int s = p.AddVar(source_type);
+    int t = p.AddVar(target_type);
+    EXPECT_TRUE(p.AddAction(op, s, relation, t).ok());
+    EXPECT_TRUE(p.SetSourceVar(s).ok());
+    return p;
+  }
+
+  /// The transfer pattern: +cc(new), -cc(old), +squad, -squad.
+  Pattern Transfer(TypeId player, TypeId club) {
+    Pattern p;
+    int pl = p.AddVar(player);
+    int c1 = p.AddVar(club);
+    int c2 = p.AddVar(club);
+    EXPECT_TRUE(p.AddAction(EditOp::kAdd, pl, "current_club", c1).ok());
+    EXPECT_TRUE(p.AddAction(EditOp::kRemove, pl, "current_club", c2).ok());
+    EXPECT_TRUE(p.AddAction(EditOp::kAdd, c1, "squad", pl).ok());
+    EXPECT_TRUE(p.AddAction(EditOp::kRemove, c2, "squad", pl).ok());
+    EXPECT_TRUE(p.SetSourceVar(pl).ok());
+    return p;
+  }
+
+  std::unique_ptr<TypeTaxonomy> taxonomy_;
+  TypeCatalog types_;
+};
+
+TEST_F(PatternTest, BuildValidation) {
+  Pattern p;
+  int v = p.AddVar(types_.soccer_player);
+  EXPECT_FALSE(p.AddAction(EditOp::kAdd, v, "r", 5).ok());  // unknown var
+  EXPECT_FALSE(p.SetSourceVar(-1).ok());
+  EXPECT_TRUE(p.SetSourceVar(v).ok());
+}
+
+TEST_F(PatternTest, ConnectivityOfTransfer) {
+  Pattern p = Transfer(types_.soccer_player, types_.soccer_club);
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_TRUE(p.ConnectedFrom(0));
+  // The reciprocal squad edges make the transfer pattern connected from any
+  // variable (c1 -> player -> c2).
+  EXPECT_TRUE(p.ConnectedFrom(1));
+
+  // A singleton's target variable has no outgoing edge: not a valid source.
+  Pattern s = Singleton(types_.soccer_player, "current_club",
+                        types_.soccer_club);
+  EXPECT_TRUE(s.ConnectedFrom(0));
+  EXPECT_FALSE(s.ConnectedFrom(1));
+}
+
+TEST_F(PatternTest, ReachabilityThroughIntermediates) {
+  // p1 -> c1 -> p2: p2 reachable from p1 transitively (Figure 2(a)-style).
+  Pattern p;
+  int p1 = p.AddVar(types_.soccer_player);
+  int c1 = p.AddVar(types_.soccer_club);
+  int l1 = p.AddVar(types_.soccer_league);
+  ASSERT_TRUE(p.AddAction(EditOp::kAdd, p1, "current_club", c1).ok());
+  ASSERT_TRUE(p.AddAction(EditOp::kAdd, c1, "in_league", l1).ok());
+  ASSERT_TRUE(p.SetSourceVar(p1).ok());
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_FALSE(p.ConnectedFrom(c1));
+}
+
+TEST_F(PatternTest, CanonicalKeyInvariantUnderVariableRenaming) {
+  Pattern a = Transfer(types_.soccer_player, types_.soccer_club);
+
+  // Same pattern, clubs declared in the opposite order, actions permuted.
+  Pattern c;
+  int pl = c.AddVar(types_.soccer_player);
+  int c2 = c.AddVar(types_.soccer_club);
+  int c1 = c.AddVar(types_.soccer_club);
+  ASSERT_TRUE(c.AddAction(EditOp::kRemove, c2, "squad", pl).ok());
+  ASSERT_TRUE(c.AddAction(EditOp::kAdd, c1, "squad", pl).ok());
+  ASSERT_TRUE(c.AddAction(EditOp::kRemove, pl, "current_club", c2).ok());
+  ASSERT_TRUE(c.AddAction(EditOp::kAdd, pl, "current_club", c1).ok());
+  ASSERT_TRUE(c.SetSourceVar(pl).ok());
+
+  EXPECT_EQ(a.CanonicalKey(), c.CanonicalKey());
+  EXPECT_TRUE(a == c);
+}
+
+TEST_F(PatternTest, CanonicalKeyDistinguishesOpAndTypes) {
+  Pattern add = Singleton(types_.soccer_player, "current_club",
+                          types_.soccer_club, EditOp::kAdd);
+  Pattern remove = Singleton(types_.soccer_player, "current_club",
+                             types_.soccer_club, EditOp::kRemove);
+  Pattern general = Singleton(types_.athlete, "current_club",
+                              types_.soccer_club, EditOp::kAdd);
+  EXPECT_NE(add.CanonicalKey(), remove.CanonicalKey());
+  EXPECT_NE(add.CanonicalKey(), general.CanonicalKey());
+}
+
+TEST_F(PatternTest, CanonicalKeyDistinguishesGluing) {
+  // {+cc(c), -cc(c)} (same club var) vs {+cc(c1), -cc(c2)} (two club vars).
+  Pattern same;
+  int pl = same.AddVar(types_.soccer_player);
+  int c = same.AddVar(types_.soccer_club);
+  ASSERT_TRUE(same.AddAction(EditOp::kAdd, pl, "current_club", c).ok());
+  ASSERT_TRUE(same.AddAction(EditOp::kRemove, pl, "current_club", c).ok());
+  ASSERT_TRUE(same.SetSourceVar(pl).ok());
+
+  Pattern two;
+  pl = two.AddVar(types_.soccer_player);
+  int c1 = two.AddVar(types_.soccer_club);
+  int c2 = two.AddVar(types_.soccer_club);
+  ASSERT_TRUE(two.AddAction(EditOp::kAdd, pl, "current_club", c1).ok());
+  ASSERT_TRUE(two.AddAction(EditOp::kRemove, pl, "current_club", c2).ok());
+  ASSERT_TRUE(two.SetSourceVar(pl).ok());
+
+  EXPECT_NE(same.CanonicalKey(), two.CanonicalKey());
+}
+
+TEST_F(PatternTest, SpecializationByActionRemoval) {
+  Pattern transfer = Transfer(types_.soccer_player, types_.soccer_club);
+  Pattern join_only = Singleton(types_.soccer_player, "current_club",
+                                types_.soccer_club);
+  EXPECT_TRUE(IsSpecializationOf(transfer, join_only, *taxonomy_));
+  EXPECT_FALSE(IsSpecializationOf(join_only, transfer, *taxonomy_));
+  EXPECT_TRUE(IsStrictSpecializationOf(transfer, join_only, *taxonomy_));
+}
+
+TEST_F(PatternTest, SpecializationByTypeGeneralization) {
+  // p1 ≺ p2 ≺ p3 from §3's example.
+  Pattern p1;
+  {
+    int pl = p1.AddVar(types_.soccer_player);
+    int c1 = p1.AddVar(types_.soccer_club);
+    int c2 = p1.AddVar(types_.soccer_club);
+    ASSERT_TRUE(p1.AddAction(EditOp::kAdd, pl, "current_club", c1).ok());
+    ASSERT_TRUE(p1.AddAction(EditOp::kRemove, pl, "current_club", c2).ok());
+    ASSERT_TRUE(p1.SetSourceVar(pl).ok());
+  }
+  Pattern p2;
+  {
+    int a = p2.AddVar(types_.athlete);
+    int c1 = p2.AddVar(types_.soccer_club);
+    int c2 = p2.AddVar(types_.soccer_club);
+    ASSERT_TRUE(p2.AddAction(EditOp::kAdd, a, "current_club", c1).ok());
+    ASSERT_TRUE(p2.AddAction(EditOp::kRemove, a, "current_club", c2).ok());
+    ASSERT_TRUE(p2.SetSourceVar(a).ok());
+  }
+  Pattern p3 = Singleton(types_.athlete, "current_club", types_.soccer_club);
+
+  EXPECT_TRUE(IsStrictSpecializationOf(p1, p2, *taxonomy_));
+  EXPECT_TRUE(IsStrictSpecializationOf(p2, p3, *taxonomy_));
+  EXPECT_TRUE(IsStrictSpecializationOf(p1, p3, *taxonomy_));  // transitive
+  EXPECT_FALSE(IsStrictSpecializationOf(p3, p1, *taxonomy_));
+}
+
+TEST_F(PatternTest, SpecializationIsReflexiveNonStrict) {
+  Pattern p = Transfer(types_.soccer_player, types_.soccer_club);
+  EXPECT_TRUE(IsSpecializationOf(p, p, *taxonomy_));
+  EXPECT_FALSE(IsStrictSpecializationOf(p, p, *taxonomy_));
+}
+
+TEST_F(PatternTest, SpecializationRespectsInjectivity) {
+  // The general pattern has two distinct club variables; a pattern with a
+  // single club variable cannot specialize it (§3: "the assigned team nodes
+  // have to be distinct in the realization").
+  Pattern two;
+  {
+    int pl = two.AddVar(types_.soccer_player);
+    int c1 = two.AddVar(types_.soccer_club);
+    int c2 = two.AddVar(types_.soccer_club);
+    ASSERT_TRUE(two.AddAction(EditOp::kAdd, pl, "current_club", c1).ok());
+    ASSERT_TRUE(two.AddAction(EditOp::kRemove, pl, "current_club", c2).ok());
+    ASSERT_TRUE(two.SetSourceVar(pl).ok());
+  }
+  Pattern one;
+  {
+    int pl = one.AddVar(types_.soccer_player);
+    int c = one.AddVar(types_.soccer_club);
+    ASSERT_TRUE(one.AddAction(EditOp::kAdd, pl, "current_club", c).ok());
+    ASSERT_TRUE(one.AddAction(EditOp::kRemove, pl, "current_club", c).ok());
+    ASSERT_TRUE(one.SetSourceVar(pl).ok());
+  }
+  EXPECT_FALSE(IsSpecializationOf(one, two, *taxonomy_));
+}
+
+TEST_F(PatternTest, MostSpecificFiltering) {
+  Pattern transfer = Transfer(types_.soccer_player, types_.soccer_club);
+  Pattern join_only =
+      Singleton(types_.soccer_player, "current_club", types_.soccer_club);
+  Pattern unrelated =
+      Singleton(types_.soccer_player, "award_won", types_.sports_award);
+
+  std::vector<Pattern> most =
+      MostSpecificPatterns({transfer, join_only, unrelated}, *taxonomy_);
+  ASSERT_EQ(most.size(), 2u);
+  EXPECT_EQ(most[0].CanonicalKey(), transfer.CanonicalKey());
+  EXPECT_EQ(most[1].CanonicalKey(), unrelated.CanonicalKey());
+}
+
+TEST_F(PatternTest, DistinctVarTypes) {
+  Pattern p = Transfer(types_.soccer_player, types_.soccer_club);
+  EXPECT_EQ(p.DistinctVarTypes().size(), 2u);
+}
+
+TEST_F(PatternTest, SubPatternKeepsReferencedVars) {
+  Pattern transfer = Transfer(types_.soccer_player, types_.soccer_club);
+  // Keep the two "new club" actions: +cc(c1) and +squad(c1 -> p).
+  Result<Pattern> sub = SubPattern(transfer, {0, 2});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_vars(), 2u);  // player and c1 only
+  EXPECT_EQ(sub->num_actions(), 2u);
+  EXPECT_TRUE(sub->IsConnected());
+  EXPECT_EQ(sub->var_type(sub->source_var()), types_.soccer_player);
+}
+
+TEST_F(PatternTest, SubPatternValidation) {
+  Pattern transfer = Transfer(types_.soccer_player, types_.soccer_club);
+  EXPECT_FALSE(SubPattern(transfer, {9}).ok());  // out of range
+  // Action 3 alone (-squad from c2) does not reference... it does reference
+  // the player as target, so the source is kept. An empty selection is the
+  // real failure case.
+  EXPECT_FALSE(SubPattern(transfer, {}).ok());
+}
+
+TEST_F(PatternTest, TraversalOrderBindsSourcesFirst) {
+  Pattern p;
+  int pl = p.AddVar(types_.soccer_player);
+  int c = p.AddVar(types_.soccer_club);
+  int l = p.AddVar(types_.soccer_league);
+  // Insert the dependent action first: (c -> l) needs c bound.
+  ASSERT_TRUE(p.AddAction(EditOp::kAdd, c, "in_league", l).ok());
+  ASSERT_TRUE(p.AddAction(EditOp::kAdd, pl, "current_club", c).ok());
+  ASSERT_TRUE(p.SetSourceVar(pl).ok());
+  Result<std::vector<size_t>> order = PatternTraversalOrder(p);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<size_t>{1, 0}));
+
+  // A disconnected pattern has no traversal order.
+  Pattern disconnected;
+  int a = disconnected.AddVar(types_.soccer_player);
+  int b = disconnected.AddVar(types_.soccer_club);
+  int c2 = disconnected.AddVar(types_.soccer_club);
+  ASSERT_TRUE(disconnected.AddAction(EditOp::kAdd, b, "squad", c2).ok());
+  (void)a;
+  ASSERT_TRUE(disconnected.SetSourceVar(a).ok());
+  EXPECT_FALSE(PatternTraversalOrder(disconnected).ok());
+}
+
+TEST_F(PatternTest, ToStringMentionsTypesAndRelations) {
+  Pattern p =
+      Singleton(types_.soccer_player, "current_club", types_.soccer_club);
+  std::string s = p.ToString(*taxonomy_);
+  EXPECT_NE(s.find("soccer_player"), std::string::npos);
+  EXPECT_NE(s.find("current_club"), std::string::npos);
+  EXPECT_NE(s.find("source="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wiclean

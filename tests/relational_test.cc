@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "relational/ops.h"
+#include "relational/table.h"
+
+namespace wiclean::relational {
+namespace {
+
+Schema TwoIntCols(const std::string& a, const std::string& b) {
+  Schema s;
+  s.AddField(Field{a, DataType::kInt64});
+  s.AddField(Field{b, DataType::kInt64});
+  return s;
+}
+
+Table MakeTable(const std::string& a, const std::string& b,
+                const std::vector<std::pair<int64_t, int64_t>>& rows) {
+  Table t(TwoIntCols(a, b));
+  for (const auto& [x, y] : rows) t.AppendInt64Row({x, y});
+  return t;
+}
+
+// ---------- Value ----------
+
+TEST(ValueTest, NullSemantics) {
+  Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(null.SqlEquals(null));     // SQL: null != null
+  EXPECT_TRUE(null == Value::Null());     // structural: null == null
+  EXPECT_EQ(null.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedValues) {
+  Value i = Value::Int64(7);
+  Value s = Value::String("x");
+  EXPECT_TRUE(i.SqlEquals(Value::Int64(7)));
+  EXPECT_FALSE(i.SqlEquals(Value::Int64(8)));
+  EXPECT_FALSE(i.SqlEquals(s));
+  EXPECT_EQ(i.ToString(), "7");
+  EXPECT_EQ(s.ToString(), "\"x\"");
+}
+
+// ---------- Schema / Table ----------
+
+TEST(SchemaTest, FieldIndexLookup) {
+  Schema s = TwoIntCols("u", "v");
+  EXPECT_EQ(*s.FieldIndex("v"), 1u);
+  EXPECT_FALSE(s.FieldIndex("w").ok());
+  EXPECT_TRUE(s.HasField("u"));
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t = MakeTable("u", "v", {{1, 2}, {3, 4}});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column(0).Int64At(1), 3);
+  EXPECT_EQ(t.RowValues(0),
+            (std::vector<Value>{Value::Int64(1), Value::Int64(2)}));
+  EXPECT_FALSE(t.RowHasNull(0));
+}
+
+TEST(TableTest, NullRows) {
+  Table t(TwoIntCols("u", "v"));
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  EXPECT_TRUE(t.RowHasNull(0));
+  EXPECT_TRUE(t.column(1).IsNull(0));
+}
+
+TEST(TableTest, ConcatSchemasDisambiguates) {
+  Schema s = ConcatSchemas(TwoIntCols("u", "v"), TwoIntCols("v", "w"));
+  EXPECT_EQ(s.num_fields(), 4u);
+  EXPECT_EQ(s.field(2).name, "v_r");
+  EXPECT_EQ(s.field(3).name, "w");
+}
+
+// ---------- Joins ----------
+
+TEST(HashJoinTest, BasicEquiJoin) {
+  Table left = MakeTable("a", "b", {{1, 10}, {2, 20}, {3, 30}});
+  Table right = MakeTable("u", "v", {{10, 100}, {20, 200}, {99, 999}});
+  JoinSpec spec;
+  spec.equal_cols = {{1, 0}};  // b == u
+  Result<Table> joined = HashJoin(left, right, spec);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 2u);
+  EXPECT_EQ(joined->column(3).Int64At(0), 100);
+}
+
+TEST(HashJoinTest, RequiresEquality) {
+  Table t = MakeTable("a", "b", {{1, 2}});
+  JoinSpec spec;  // no equalities
+  EXPECT_FALSE(HashJoin(t, t, spec).ok());
+}
+
+TEST(HashJoinTest, RejectsOutOfRangeColumns) {
+  Table t = MakeTable("a", "b", {{1, 2}});
+  JoinSpec spec;
+  spec.equal_cols = {{5, 0}};
+  EXPECT_FALSE(HashJoin(t, t, spec).ok());
+}
+
+TEST(HashJoinTest, InequalityResidual) {
+  // Join on a == u, but require b != v.
+  Table left = MakeTable("a", "b", {{1, 7}, {1, 8}});
+  Table right = MakeTable("u", "v", {{1, 7}});
+  JoinSpec spec;
+  spec.equal_cols = {{0, 0}};
+  spec.not_equal_cols = {{1, 1}};
+  Result<Table> joined = HashJoin(left, right, spec);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->num_rows(), 1u);
+  EXPECT_EQ(joined->column(1).Int64At(0), 8);
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  Table left(TwoIntCols("a", "b"));
+  left.AppendRow({Value::Null(), Value::Int64(1)});
+  Table right = MakeTable("u", "v", {{1, 1}});
+  JoinSpec spec;
+  spec.equal_cols = {{0, 0}};
+  Result<Table> joined = HashJoin(left, right, spec);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 0u);
+}
+
+TEST(NestedLoopJoinTest, MatchesHashJoinOnEquiJoin) {
+  Table left = MakeTable("a", "b", {{1, 10}, {2, 20}, {2, 21}});
+  Table right = MakeTable("u", "v", {{2, 5}, {1, 6}});
+  JoinSpec spec;
+  spec.equal_cols = {{0, 0}};
+  Result<Table> h = HashJoin(left, right, spec);
+  Result<Table> n = NestedLoopJoin(left, right, spec);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(h->num_rows(), n->num_rows());
+}
+
+TEST(NestedLoopJoinTest, SupportsPureThetaJoin) {
+  Table left = MakeTable("a", "b", {{1, 0}, {2, 0}});
+  Table right = MakeTable("u", "v", {{1, 0}, {3, 0}});
+  JoinSpec spec;
+  spec.not_equal_cols = {{0, 0}};  // a != u
+  Result<Table> joined = NestedLoopJoin(left, right, spec);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 3u);  // (1,3), (2,1), (2,3)
+}
+
+// ---------- Full outer join ----------
+
+TEST(FullOuterJoinTest, PadsBothSides) {
+  Table left = MakeTable("a", "b", {{1, 10}, {2, 20}});
+  Table right = MakeTable("u", "v", {{10, 100}, {30, 300}});
+  JoinSpec spec;
+  spec.equal_cols = {{1, 0}};
+  Result<Table> joined = FullOuterJoin(left, right, spec);
+  ASSERT_TRUE(joined.ok());
+  // 1 match + 1 left-only + 1 right-only.
+  EXPECT_EQ(joined->num_rows(), 3u);
+  Table partial = FilterRowsWithNull(*joined);
+  EXPECT_EQ(partial.num_rows(), 2u);
+}
+
+TEST(FullOuterJoinTest, EmptyRightPadsAllLeft) {
+  Table left = MakeTable("a", "b", {{1, 10}});
+  Table right(TwoIntCols("u", "v"));
+  JoinSpec spec;
+  spec.equal_cols = {{1, 0}};
+  Result<Table> joined = FullOuterJoin(left, right, spec);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->num_rows(), 1u);
+  EXPECT_TRUE(joined->column(2).IsNull(0));
+  EXPECT_TRUE(joined->column(3).IsNull(0));
+}
+
+TEST(FullOuterJoinTest, NullInequalityModes) {
+  Table left(TwoIntCols("a", "b"));
+  left.AppendRow({Value::Int64(1), Value::Null()});
+  Table right = MakeTable("u", "v", {{1, 5}});
+  JoinSpec spec;
+  spec.equal_cols = {{0, 0}};
+  spec.not_equal_cols = {{1, 1}};  // b != v, but b is null
+
+  Result<Table> sql = FullOuterJoin(left, right, spec);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql->num_rows(), 2u);  // no match: both rows padded
+
+  spec.null_inequality_passes = true;
+  Result<Table> tolerant = FullOuterJoin(left, right, spec);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_EQ(tolerant->num_rows(), 1u);  // match
+}
+
+TEST(FullOuterJoinTest, WildcardEquality) {
+  Table left(TwoIntCols("a", "b"));
+  left.AppendRow({Value::Int64(1), Value::Null()});
+  left.AppendRow({Value::Int64(1), Value::Int64(9)});
+  Table right = MakeTable("u", "v", {{1, 5}});
+  JoinSpec spec;
+  spec.equal_cols = {{0, 0}};
+  spec.wildcard_equal_cols = {{1, 1}};  // b ~= v (null matches anything)
+  Result<Table> joined = FullOuterJoin(left, right, spec);
+  ASSERT_TRUE(joined.ok());
+  // Row 0 matches (b null); row 1 does not (9 != 5) and is padded.
+  EXPECT_EQ(joined->num_rows(), 2u);
+}
+
+// ---------- Project / distinct / filter / count ----------
+
+TEST(ProjectTest, SelectsAndRenames) {
+  Table t = MakeTable("a", "b", {{1, 2}, {3, 4}});
+  Result<Table> p = Project(t, {1}, {"x"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->schema().field(0).name, "x");
+  EXPECT_EQ(p->column(0).Int64At(1), 4);
+}
+
+TEST(ProjectTest, RejectsBadArgs) {
+  Table t = MakeTable("a", "b", {{1, 2}});
+  EXPECT_FALSE(Project(t, {7}).ok());
+  EXPECT_FALSE(Project(t, {0, 1}, {"just_one"}).ok());
+}
+
+TEST(DistinctProjectTest, RemovesDuplicates) {
+  Table t = MakeTable("a", "b", {{1, 2}, {1, 2}, {1, 3}});
+  Result<Table> d = DistinctProject(t, {0, 1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 2u);
+}
+
+TEST(DistinctProjectTest, NullsCompareEqualForDedup) {
+  Table t(TwoIntCols("a", "b"));
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  t.AppendRow({Value::Int64(1), Value::Null()});
+  Result<Table> d = DistinctProject(t, {0, 1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 1u);
+}
+
+TEST(CountDistinctTest, IgnoresNulls) {
+  Table t(TwoIntCols("a", "b"));
+  t.AppendRow({Value::Int64(1), Value::Int64(1)});
+  t.AppendRow({Value::Int64(1), Value::Int64(2)});
+  t.AppendRow({Value::Null(), Value::Int64(3)});
+  EXPECT_EQ(*CountDistinct(t, 0), 1u);
+  EXPECT_EQ(*CountDistinct(t, 1), 3u);
+  EXPECT_FALSE(CountDistinct(t, 9).ok());
+}
+
+TEST(FilterTest, KeepsMatchingRows) {
+  Table t = MakeTable("a", "b", {{1, 2}, {5, 6}, {7, 8}});
+  Table f = Filter(t, [](const Table& tab, size_t r) {
+    return tab.column(0).Int64At(r) > 2;
+  });
+  EXPECT_EQ(f.num_rows(), 2u);
+}
+
+TEST(AppendAllTest, ChecksSchemas) {
+  Table a = MakeTable("a", "b", {{1, 2}});
+  Table b = MakeTable("x", "y", {{3, 4}});  // same types, different names: OK
+  EXPECT_TRUE(AppendAll(&a, b).ok());
+  EXPECT_EQ(a.num_rows(), 2u);
+
+  Schema mixed;
+  mixed.AddField(Field{"s", DataType::kString});
+  Table c(mixed);
+  EXPECT_FALSE(AppendAll(&a, c).ok());
+}
+
+}  // namespace
+}  // namespace wiclean::relational

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.h"
+#include "report/report.h"
+#include "synth/catalog.h"
+
+namespace wiclean {
+namespace {
+
+// ---------- JSON writer ----------
+
+TEST(JsonWriterTest, CompactObject) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.Key("b");
+  w.BeginArray();
+  w.String("x");
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_TRUE(w.Complete());
+  EXPECT_EQ(out.str(), R"({"a":1,"b":["x",true,null]})");
+}
+
+TEST(JsonWriterTest, PrettyIndents) {
+  std::ostringstream out;
+  JsonWriter w(&out, /*pretty=*/true);
+  w.BeginObject();
+  w.Key("k");
+  w.Int(7);
+  w.EndObject();
+  EXPECT_EQ(out.str(), "{\n  \"k\": 7\n}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(out.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginArray();
+  w.Number(1.5);
+  w.Number(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(out.str(), "[1.5,null]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream out;
+  JsonWriter w(&out, /*pretty=*/true);
+  w.BeginObject();
+  w.Key("empty_array");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("empty_object");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_TRUE(w.Complete());
+  EXPECT_NE(out.str().find("[]"), std::string::npos);
+  EXPECT_NE(out.str().find("{}"), std::string::npos);
+}
+
+/// A minimal structural JSON validity check: quote-aware brace/bracket
+/// balance. Catches writer bookkeeping bugs (stray commas are caught by the
+/// golden tests above).
+bool BalancedJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string;
+}
+
+// ---------- report writers ----------
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<CatalogTaxonomy> catalog = BuildCatalogTaxonomy();
+    ASSERT_TRUE(catalog.ok());
+    taxonomy_ = std::move(catalog->taxonomy);
+    types_ = catalog->types;
+    registry_ = std::make_unique<EntityRegistry>(taxonomy_.get());
+    neymar_ = *registry_->Register("Neymar", types_.soccer_player);
+    psg_ = *registry_->Register("PSG", types_.soccer_club);
+  }
+
+  Pattern JoinPair() {
+    Pattern p;
+    int pl = p.AddVar(types_.soccer_player);
+    int c = p.AddVar(types_.soccer_club);
+    EXPECT_TRUE(p.AddAction(EditOp::kAdd, pl, "current_club", c).ok());
+    EXPECT_TRUE(p.AddAction(EditOp::kAdd, c, "squad", pl).ok());
+    EXPECT_TRUE(p.SetSourceVar(pl).ok());
+    return p;
+  }
+
+  std::unique_ptr<TypeTaxonomy> taxonomy_;
+  TypeCatalog types_;
+  std::unique_ptr<EntityRegistry> registry_;
+  EntityId neymar_, psg_;
+};
+
+TEST_F(ReportTest, PatternJsonIncludesTypesAndBindings) {
+  Pattern p = JoinPair();
+  ASSERT_TRUE(p.BindVar(1, psg_).ok());
+  std::ostringstream out;
+  WritePatternJson(p, *taxonomy_, registry_.get(), &out);
+  std::string json = out.str();
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"soccer_player\""), std::string::npos);
+  EXPECT_NE(json.find("\"current_club\""), std::string::npos);
+  EXPECT_NE(json.find("\"bound_to\": \"PSG\""), std::string::npos);
+}
+
+TEST_F(ReportTest, SearchReportJson) {
+  WindowSearchResult result;
+  result.rounds.push_back(
+      RefinementRound{2 * kSecondsPerWeek, 0.8, 1, 0.25});
+  DiscoveredPattern dp;
+  dp.mined.pattern = JoinPair();
+  dp.mined.window = TimeWindow{0, 2 * kSecondsPerWeek};
+  dp.mined.frequency = 0.8;
+  dp.mined.support = 4;
+  dp.threshold = 0.8;
+  RelativePattern rp;
+  rp.pattern = JoinPair();
+  rp.relative_frequency = 0.6;
+  dp.relatives.push_back(rp);
+  result.patterns.push_back(dp);
+
+  std::ostringstream out;
+  WriteSearchReportJson(result, *taxonomy_, registry_.get(), &out);
+  std::string json = out.str();
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"frequency\": 0.8"), std::string::npos);
+  EXPECT_NE(json.find("\"relative_patterns\""), std::string::npos);
+  EXPECT_NE(json.find("\"new_patterns\": 1"), std::string::npos);
+}
+
+TEST_F(ReportTest, DetectionReportJsonNamesEntities) {
+  PartialUpdateReport report;
+  report.pattern = JoinPair();
+  report.window = TimeWindow{0, 100};
+  report.full_count = 3;
+  report.examples.push_back({neymar_, psg_});
+  PartialRealization pr;
+  pr.bindings = {neymar_, psg_};
+  pr.missing_actions = {1};
+  pr.present_actions = {0};
+  report.partials.push_back(pr);
+
+  std::ostringstream out;
+  WriteDetectionReportJson(report, *taxonomy_, *registry_, &out);
+  std::string json = out.str();
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"Neymar\""), std::string::npos);
+  EXPECT_NE(json.find("\"subject\": \"PSG\""), std::string::npos);
+  EXPECT_NE(json.find("\"relation\": \"squad\""), std::string::npos);
+}
+
+TEST_F(ReportTest, SignalsCsvQuotesFields) {
+  PartialUpdateReport report;
+  report.pattern = JoinPair();
+  report.window = TimeWindow{0, kSecondsPerDay * 14};
+  PartialRealization pr;
+  pr.bindings = {neymar_, std::nullopt};
+  pr.missing_actions = {1};
+  report.partials.push_back(pr);
+
+  std::ostringstream out;
+  WriteSignalsCsv({{&report, "join \"pair\""}}, *registry_, &out);
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("pattern,window_begin_day"), std::string::npos);
+  EXPECT_NE(csv.find("\"join \"\"pair\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("Neymar; ?"), std::string::npos);
+  EXPECT_NE(csv.find("+squad"), std::string::npos);
+}
+
+TEST_F(ReportTest, SummaryMentionsEveryPattern) {
+  WindowSearchResult result;
+  DiscoveredPattern dp;
+  dp.mined.pattern = JoinPair();
+  dp.mined.window = TimeWindow{0, 2 * kSecondsPerWeek};
+  dp.mined.frequency = 0.75;
+  result.patterns.push_back(dp);
+  std::string summary = RenderSearchSummary(result, *taxonomy_);
+  EXPECT_NE(summary.find("1 pattern(s)"), std::string::npos);
+  EXPECT_NE(summary.find("f=0.75"), std::string::npos);
+  EXPECT_NE(summary.find("current_club"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wiclean

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.h"
+
+namespace wiclean {
+namespace {
+
+// thing -> agent -> person -> athlete -> soccer_player
+//       -> place
+class TaxonomyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    thing_ = *tax_.AddRoot("thing");
+    agent_ = *tax_.AddType("agent", thing_);
+    person_ = *tax_.AddType("person", agent_);
+    athlete_ = *tax_.AddType("athlete", person_);
+    player_ = *tax_.AddType("soccer_player", athlete_);
+    place_ = *tax_.AddType("place", thing_);
+  }
+
+  TypeTaxonomy tax_;
+  TypeId thing_, agent_, person_, athlete_, player_, place_;
+};
+
+TEST_F(TaxonomyTest, BuildErrors) {
+  TypeTaxonomy t;
+  EXPECT_FALSE(t.AddType("x", 0).ok());  // no root yet
+  ASSERT_TRUE(t.AddRoot("root").ok());
+  EXPECT_FALSE(t.AddRoot("root2").ok());        // second root
+  EXPECT_FALSE(t.AddType("y", 99).ok());        // bad parent
+  ASSERT_TRUE(t.AddType("y", 0).ok());
+  EXPECT_FALSE(t.AddType("y", 0).ok());         // duplicate name
+}
+
+TEST_F(TaxonomyTest, FindByName) {
+  EXPECT_EQ(*tax_.Find("athlete"), athlete_);
+  EXPECT_FALSE(tax_.Find("nonexistent").ok());
+}
+
+TEST_F(TaxonomyTest, IsAReflexiveAndTransitive) {
+  EXPECT_TRUE(tax_.IsA(player_, player_));
+  EXPECT_TRUE(tax_.IsA(player_, athlete_));
+  EXPECT_TRUE(tax_.IsA(player_, thing_));
+  EXPECT_FALSE(tax_.IsA(athlete_, player_));
+  EXPECT_FALSE(tax_.IsA(player_, place_));
+  EXPECT_FALSE(tax_.IsA(kInvalidTypeId, thing_));
+}
+
+TEST_F(TaxonomyTest, Comparable) {
+  EXPECT_TRUE(tax_.Comparable(player_, person_));
+  EXPECT_TRUE(tax_.Comparable(person_, player_));
+  EXPECT_FALSE(tax_.Comparable(place_, player_));
+}
+
+TEST_F(TaxonomyTest, Depths) {
+  EXPECT_EQ(tax_.Depth(thing_), 0);
+  EXPECT_EQ(tax_.Depth(player_), 4);
+  EXPECT_EQ(tax_.Parent(thing_), kInvalidTypeId);
+  EXPECT_EQ(tax_.Parent(player_), athlete_);
+}
+
+TEST_F(TaxonomyTest, Ancestors) {
+  std::vector<TypeId> anc = tax_.AncestorsOf(player_);
+  ASSERT_EQ(anc.size(), 5u);
+  EXPECT_EQ(anc.front(), player_);
+  EXPECT_EQ(anc.back(), thing_);
+}
+
+TEST_F(TaxonomyTest, Descendants) {
+  std::vector<TypeId> desc = tax_.DescendantsOf(person_);
+  EXPECT_EQ(desc.size(), 3u);  // person, athlete, soccer_player
+  EXPECT_EQ(tax_.DescendantsOf(place_).size(), 1u);
+}
+
+TEST_F(TaxonomyTest, Lca) {
+  EXPECT_EQ(tax_.Lca(player_, place_), thing_);
+  EXPECT_EQ(tax_.Lca(player_, person_), person_);
+  EXPECT_EQ(tax_.Lca(player_, player_), player_);
+  EXPECT_EQ(tax_.Lca(kInvalidTypeId, player_), kInvalidTypeId);
+}
+
+}  // namespace
+}  // namespace wiclean

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "wikitext/infobox.h"
+
+namespace wiclean {
+namespace {
+
+TEST(RenderTest, GroupsRelations) {
+  std::string text = RenderPage(
+      "PSG", "soccer club",
+      {{"squad", "Neymar"}, {"in_league", "Ligue 1"}, {"squad", "Mbappe"}});
+  EXPECT_NE(text.find("{{Infobox soccer club"), std::string::npos);
+  EXPECT_NE(text.find("| squad = [[Neymar]], [[Mbappe]]"), std::string::npos);
+  EXPECT_NE(text.find("| in_league = [[Ligue 1]]"), std::string::npos);
+  EXPECT_NE(text.find("'''PSG'''"), std::string::npos);
+}
+
+TEST(ParseTest, RoundTripsRender) {
+  std::vector<InfoboxLink> links = {{"current_club", "PSG"},
+                                    {"in_league", "Ligue 1"},
+                                    {"award_won", "Ballon d'Or"}};
+  Result<ParsedPage> parsed = ParsePage(RenderPage("Neymar", "player", links));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->infobox_class, "player");
+  EXPECT_EQ(parsed->links, links);
+}
+
+TEST(ParseTest, NoInfoboxYieldsEmpty) {
+  Result<ParsedPage> parsed = ParsePage("Just some '''prose''' text.");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->links.empty());
+}
+
+TEST(ParseTest, DisplayTextLinksUseTarget) {
+  Result<ParsedPage> parsed = ParsePage(
+      "{{Infobox player\n| club = [[Paris Saint-Germain|PSG]]\n}}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->links.size(), 1u);
+  EXPECT_EQ(parsed->links[0].target_title, "Paris Saint-Germain");
+}
+
+TEST(ParseTest, IgnoresNonLinkValuesAndBareParams) {
+  Result<ParsedPage> parsed = ParsePage(
+      "{{Infobox player\n| height = 175cm\n| bare_flag\n| club = [[PSG]]\n}}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->links.size(), 1u);
+  EXPECT_EQ(parsed->links[0].relation, "club");
+}
+
+TEST(ParseTest, UnterminatedInfoboxIsCorruption) {
+  Result<ParsedPage> parsed =
+      ParsePage("{{Infobox player\n| club = [[PSG]]\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ParseTest, UnterminatedLinkIsCorruption) {
+  Result<ParsedPage> parsed =
+      ParsePage("{{Infobox player\n| club = [[PSG\n}}");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ParseTest, NestedTemplatesInsideInfobox) {
+  Result<ParsedPage> parsed = ParsePage(
+      "{{Infobox player\n| note = {{small|hi}}\n| club = [[PSG]]\n}}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->links.size(), 1u);
+}
+
+TEST(ParseTest, EmptyLinkTargetsSkipped) {
+  Result<ParsedPage> parsed =
+      ParsePage("{{Infobox player\n| club = [[  ]]\n}}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->links.empty());
+}
+
+TEST(DiffTest, DetectsAddsAndRemoves) {
+  std::string before = RenderPage(
+      "Neymar", "player",
+      {{"current_club", "Barcelona"}, {"in_league", "La Liga"}});
+  std::string after = RenderPage(
+      "Neymar", "player", {{"current_club", "PSG"}, {"in_league", "La Liga"}});
+  Result<LinkDelta> delta = DiffRevisions(before, after);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_EQ(delta->removed.size(), 1u);
+  ASSERT_EQ(delta->added.size(), 1u);
+  EXPECT_EQ(delta->removed[0].target_title, "Barcelona");
+  EXPECT_EQ(delta->added[0].target_title, "PSG");
+}
+
+TEST(DiffTest, FirstRevisionDiffsAgainstEmpty) {
+  std::string after = RenderPage("X", "t", {{"r", "Y"}});
+  Result<LinkDelta> delta = DiffRevisions("", after);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->removed.empty());
+  ASSERT_EQ(delta->added.size(), 1u);
+}
+
+TEST(DiffTest, IdenticalRevisionsNoDelta) {
+  std::string text = RenderPage("X", "t", {{"r", "Y"}});
+  Result<LinkDelta> delta = DiffRevisions(text, text);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->removed.empty());
+  EXPECT_TRUE(delta->added.empty());
+}
+
+TEST(DiffTest, PropagatesParseErrors) {
+  EXPECT_FALSE(DiffRevisions("{{Infobox x\n| a = [[B", "").ok());
+  EXPECT_FALSE(DiffRevisions("", "{{Infobox x\n| a = [[B").ok());
+}
+
+TEST(DiffTest, DuplicateLinksTreatedAsSet) {
+  std::string before = "{{Infobox t\n| r = [[Y]] [[Y]]\n}}";
+  std::string after = "{{Infobox t\n| r = [[Y]]\n}}";
+  Result<LinkDelta> delta = DiffRevisions(before, after);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->removed.empty());
+  EXPECT_TRUE(delta->added.empty());
+}
+
+}  // namespace
+}  // namespace wiclean

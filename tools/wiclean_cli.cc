@@ -1,0 +1,331 @@
+// The WiClean command-line tool: end-to-end mining and error detection over
+// file-based inputs (a MediaWiki-style dump plus taxonomy/alignment TSVs —
+// the offline equivalent of the paper's crawled data + DBPedia alignment).
+//
+// Subcommands:
+//
+//   wiclean synth --out-dir DIR [--seeds N] [--years N] [--rng-seed S]
+//                 [--domains soccer,cinema,politics,software]
+//     Generates a demo corpus: DIR/dump.xml, DIR/taxonomy.tsv,
+//     DIR/alignment.tsv.
+//
+//   wiclean mine --dump F --taxonomy F --alignment F --seed-type NAME
+//                [--threshold X] [--json FILE]
+//     Runs the window-and-pattern search (Algorithm 2) and prints a summary;
+//     optionally writes a JSON report.
+//
+//   wiclean detect --dump F --taxonomy F --alignment F --seed-type NAME
+//                  [--threshold X] [--csv FILE] [--max-print N]
+//     Mines, then runs partial-update detection (Algorithm 3) on every
+//     discovered pattern and reports the signaled potential errors.
+//
+// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/partial.h"
+#include "core/window_search.h"
+#include "dump/alignment.h"
+#include "dump/ingest.h"
+#include "report/report.h"
+#include "synth/dump_render.h"
+#include "synth/synthesizer.h"
+
+namespace wiclean {
+namespace {
+
+/// Parsed --key value pairs; positional args rejected.
+class Args {
+ public:
+  static Result<Args> Parse(int argc, char** argv, int first) {
+    Args args;
+    for (int i = first; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+        return Status::InvalidArgument("unexpected argument '" +
+                                       std::string(arg) + "'");
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for '" +
+                                       std::string(arg) + "'");
+      }
+      args.values_[std::string(arg.substr(2))] = argv[++i];
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  Result<std::string> Require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                        nullptr);
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "wiclean: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Shared loading for mine/detect: taxonomy + alignment + dump -> store.
+struct LoadedCorpus {
+  std::unique_ptr<TypeTaxonomy> taxonomy;
+  std::unique_ptr<EntityRegistry> registry;
+  RevisionStore store;
+  TypeId seed_type = kInvalidTypeId;
+  Timestamp begin = 0;
+  Timestamp end = 0;
+};
+
+Result<LoadedCorpus> LoadCorpus(const Args& args) {
+  LoadedCorpus corpus;
+
+  WICLEAN_ASSIGN_OR_RETURN(std::string taxonomy_path,
+                           args.Require("taxonomy"));
+  std::ifstream taxonomy_file(taxonomy_path);
+  if (!taxonomy_file) {
+    return Status::NotFound("cannot open taxonomy file " + taxonomy_path);
+  }
+  WICLEAN_ASSIGN_OR_RETURN(corpus.taxonomy, LoadTaxonomy(&taxonomy_file));
+
+  WICLEAN_ASSIGN_OR_RETURN(std::string alignment_path,
+                           args.Require("alignment"));
+  std::ifstream alignment_file(alignment_path);
+  if (!alignment_file) {
+    return Status::NotFound("cannot open alignment file " + alignment_path);
+  }
+  WICLEAN_ASSIGN_OR_RETURN(
+      corpus.registry, LoadAlignment(&alignment_file, corpus.taxonomy.get()));
+
+  WICLEAN_ASSIGN_OR_RETURN(std::string dump_path, args.Require("dump"));
+  std::ifstream dump_file(dump_path);
+  if (!dump_file) {
+    return Status::NotFound("cannot open dump file " + dump_path);
+  }
+  WICLEAN_ASSIGN_OR_RETURN(
+      IngestStats stats,
+      IngestDump(&dump_file, *corpus.registry, &corpus.store, {}));
+  std::fprintf(stderr, "ingested: %s\n", stats.ToString().c_str());
+
+  WICLEAN_ASSIGN_OR_RETURN(std::string seed_name, args.Require("seed-type"));
+  WICLEAN_ASSIGN_OR_RETURN(corpus.seed_type,
+                           corpus.taxonomy->Find(seed_name));
+
+  if (!corpus.store.TimeSpan(&corpus.begin, &corpus.end)) {
+    return Status::FailedPrecondition("dump contains no link edits");
+  }
+  // Round the timeline outward to whole days so windows are stable.
+  corpus.begin = (corpus.begin / kSecondsPerDay) * kSecondsPerDay;
+  corpus.end = ((corpus.end / kSecondsPerDay) + 1) * kSecondsPerDay;
+  return corpus;
+}
+
+Result<WindowSearchResult> RunSearch(const LoadedCorpus& corpus,
+                                     const Args& args) {
+  WindowSearchOptions options;
+  options.initial_threshold = args.GetDouble("threshold", 0.7);
+  options.miner.max_abstraction_lift =
+      static_cast<int>(args.GetInt("abstraction-lift", 1));
+  options.miner.max_pattern_actions =
+      static_cast<size_t>(args.GetInt("max-actions", 6));
+  options.mine_relative = true;
+  WindowSearch search(corpus.registry.get(), &corpus.store, options);
+  return search.Run(corpus.seed_type, corpus.begin, corpus.end);
+}
+
+int RunSynth(const Args& args) {
+  Result<std::string> out_dir = args.Require("out-dir");
+  if (!out_dir.ok()) return Fail(out_dir.status());
+  std::error_code ec;
+  std::filesystem::create_directories(*out_dir, ec);
+  if (ec) {
+    return Fail(Status::Internal("cannot create directory " + *out_dir +
+                                 ": " + ec.message()));
+  }
+
+  SynthOptions options;
+  options.seed_entities =
+      static_cast<size_t>(args.GetInt("seeds", 300));
+  options.years = static_cast<int>(args.GetInt("years", 2));
+  options.rng_seed = static_cast<uint64_t>(args.GetInt("rng-seed", 42));
+  std::string domains = args.Get("domains", "soccer");
+  options.soccer = domains.find("soccer") != std::string::npos;
+  options.cinema = domains.find("cinema") != std::string::npos;
+  options.politics = domains.find("politics") != std::string::npos;
+  options.software = domains.find("software") != std::string::npos;
+
+  Result<SynthWorld> world = Synthesize(options);
+  if (!world.ok()) return Fail(world.status());
+
+  std::string base = *out_dir + "/";
+  {
+    std::ofstream f(base + "taxonomy.tsv");
+    if (!f) return Fail(Status::Internal("cannot write " + base +
+                                         "taxonomy.tsv"));
+    WriteTaxonomy(*world->taxonomy, &f);
+  }
+  {
+    std::ofstream f(base + "alignment.tsv");
+    if (!f) return Fail(Status::Internal("cannot write " + base +
+                                         "alignment.tsv"));
+    WriteAlignment(*world->registry, &f);
+  }
+  {
+    std::ofstream f(base + "dump.xml");
+    if (!f) return Fail(Status::Internal("cannot write " + base +
+                                         "dump.xml"));
+    Status status = WriteDump(*world, 0,
+                              static_cast<Timestamp>(options.years) *
+                                  kSecondsPerYear,
+                              &f);
+    if (!status.ok()) return Fail(status);
+  }
+  std::printf("wrote %staxonomy.tsv, %salignment.tsv, %sdump.xml\n",
+              base.c_str(), base.c_str(), base.c_str());
+  std::printf("try: wiclean mine --dump %sdump.xml --taxonomy %staxonomy.tsv "
+              "--alignment %salignment.tsv --seed-type soccer_player\n",
+              base.c_str(), base.c_str(), base.c_str());
+  return 0;
+}
+
+int RunMine(const Args& args) {
+  Result<LoadedCorpus> corpus = LoadCorpus(args);
+  if (!corpus.ok()) return Fail(corpus.status());
+  Result<WindowSearchResult> result = RunSearch(*corpus, args);
+  if (!result.ok()) return Fail(result.status());
+
+  std::fputs(RenderSearchSummary(*result, *corpus->taxonomy).c_str(), stdout);
+
+  std::string json_path = args.Get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) return Fail(Status::Internal("cannot write " + json_path));
+    WriteSearchReportJson(*result, *corpus->taxonomy, corpus->registry.get(),
+                          &f);
+    std::printf("JSON report written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int RunDetect(const Args& args) {
+  Result<LoadedCorpus> corpus = LoadCorpus(args);
+  if (!corpus.ok()) return Fail(corpus.status());
+  Result<WindowSearchResult> result = RunSearch(*corpus, args);
+  if (!result.ok()) return Fail(result.status());
+
+  PartialDetectorOptions detector_options;
+  detector_options.max_abstraction_lift =
+      static_cast<int>(args.GetInt("abstraction-lift", 1));
+  PartialUpdateDetector detector(corpus->registry.get(), &corpus->store,
+                                 detector_options);
+
+  std::vector<PartialUpdateReport> reports;
+  size_t total_signals = 0;
+  for (const DiscoveredPattern& dp : result->patterns) {
+    if (dp.mined.pattern.num_actions() < 2) continue;
+    Result<PartialUpdateReport> report =
+        detector.Detect(dp.mined.pattern, dp.mined.window);
+    if (!report.ok()) return Fail(report.status());
+    total_signals += report->partials.size();
+    reports.push_back(std::move(report).value());
+  }
+
+  std::printf("%zu pattern(s) scanned, %zu potential error(s)\n",
+              reports.size(), total_signals);
+  size_t max_print = static_cast<size_t>(args.GetInt("max-print", 20));
+  size_t printed = 0;
+  for (const PartialUpdateReport& report : reports) {
+    for (const PartialRealization& pr : report.partials) {
+      if (printed++ >= max_print) break;
+      std::printf("  potential error in %s:",
+                  report.window.ToString().c_str());
+      for (size_t mi : pr.missing_actions) {
+        const AbstractAction& a = report.pattern.actions()[mi];
+        auto name = [&](int v) -> std::string {
+          return pr.bindings[v].has_value()
+                     ? corpus->registry->Get(*pr.bindings[v]).name
+                     : "?";
+        };
+        std::printf(" missing [%s %s --%s--> %s]",
+                    a.op == EditOp::kAdd ? "+" : "-",
+                    name(a.source_var).c_str(), a.relation.c_str(),
+                    name(a.target_var).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  if (printed > max_print) {
+    std::printf("  ... (%zu more; use --csv to export all)\n",
+                printed - max_print);
+  }
+
+  std::string csv_path = args.Get("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (!f) return Fail(Status::Internal("cannot write " + csv_path));
+    std::vector<std::pair<const PartialUpdateReport*, std::string>> rows;
+    for (const PartialUpdateReport& report : reports) {
+      rows.push_back(
+          {&report, report.pattern.ToString(*corpus->taxonomy)});
+    }
+    WriteSignalsCsv(rows, *corpus->registry, &f);
+    std::printf("CSV written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wiclean <synth|mine|detect> [--flag value ...]\n"
+               "  synth  --out-dir DIR [--seeds N] [--years N] "
+               "[--domains soccer,cinema,politics,software] [--rng-seed S]\n"
+               "  mine   --dump F --taxonomy F --alignment F --seed-type T "
+               "[--threshold X] [--json F]\n"
+               "  detect --dump F --taxonomy F --alignment F --seed-type T "
+               "[--threshold X] [--csv F] [--max-print N]\n");
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Result<Args> args = Args::Parse(argc, argv, 2);
+  if (!args.ok()) return Fail(args.status());
+  std::string_view command = argv[1];
+  if (command == "synth") return RunSynth(*args);
+  if (command == "mine") return RunMine(*args);
+  if (command == "detect") return RunDetect(*args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace wiclean
+
+int main(int argc, char** argv) { return wiclean::Main(argc, argv); }
