@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_abstraction.dir/ablation_abstraction.cc.o"
+  "CMakeFiles/ablation_abstraction.dir/ablation_abstraction.cc.o.d"
+  "ablation_abstraction"
+  "ablation_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_algo3.cc" "bench/CMakeFiles/ablation_algo3.dir/ablation_algo3.cc.o" "gcc" "bench/CMakeFiles/ablation_algo3.dir/ablation_algo3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wiclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/wiclean_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wiclean_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/dump/CMakeFiles/wiclean_dump.dir/DependInfo.cmake"
+  "/root/repo/build/src/revision/CMakeFiles/wiclean_revision.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wiclean_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/wiclean_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/wikitext/CMakeFiles/wiclean_wikitext.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wiclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

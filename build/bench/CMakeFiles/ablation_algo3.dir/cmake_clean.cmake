@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_algo3.dir/ablation_algo3.cc.o"
+  "CMakeFiles/ablation_algo3.dir/ablation_algo3.cc.o.d"
+  "ablation_algo3"
+  "ablation_algo3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_algo3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_seed_size.dir/fig4a_seed_size.cc.o"
+  "CMakeFiles/fig4a_seed_size.dir/fig4a_seed_size.cc.o.d"
+  "fig4a_seed_size"
+  "fig4a_seed_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_seed_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

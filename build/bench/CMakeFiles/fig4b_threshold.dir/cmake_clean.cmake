@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_threshold.dir/fig4b_threshold.cc.o"
+  "CMakeFiles/fig4b_threshold.dir/fig4b_threshold.cc.o.d"
+  "fig4b_threshold"
+  "fig4b_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

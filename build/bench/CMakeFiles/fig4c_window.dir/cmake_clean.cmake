@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_window.dir/fig4c_window.cc.o"
+  "CMakeFiles/fig4c_window.dir/fig4c_window.cc.o.d"
+  "fig4c_window"
+  "fig4c_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

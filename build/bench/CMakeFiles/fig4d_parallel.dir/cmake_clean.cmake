@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_parallel.dir/fig4d_parallel.cc.o"
+  "CMakeFiles/fig4d_parallel.dir/fig4d_parallel.cc.o.d"
+  "fig4d_parallel"
+  "fig4d_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_domains.dir/quality_domains.cc.o"
+  "CMakeFiles/quality_domains.dir/quality_domains.cc.o.d"
+  "quality_domains"
+  "quality_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_data_candidates.dir/small_data_candidates.cc.o"
+  "CMakeFiles/small_data_candidates.dir/small_data_candidates.cc.o.d"
+  "small_data_candidates"
+  "small_data_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_data_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

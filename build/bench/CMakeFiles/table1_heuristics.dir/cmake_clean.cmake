@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_heuristics.dir/table1_heuristics.cc.o"
+  "CMakeFiles/table1_heuristics.dir/table1_heuristics.cc.o.d"
+  "table1_heuristics"
+  "table1_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_assistant.dir/edit_assistant.cpp.o"
+  "CMakeFiles/edit_assistant.dir/edit_assistant.cpp.o.d"
+  "edit_assistant"
+  "edit_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

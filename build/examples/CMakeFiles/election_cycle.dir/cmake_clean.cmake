@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_cycle.dir/election_cycle.cpp.o"
+  "CMakeFiles/election_cycle.dir/election_cycle.cpp.o.d"
+  "election_cycle"
+  "election_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soccer_transfer_window.dir/soccer_transfer_window.cpp.o"
+  "CMakeFiles/soccer_transfer_window.dir/soccer_transfer_window.cpp.o.d"
+  "soccer_transfer_window"
+  "soccer_transfer_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soccer_transfer_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

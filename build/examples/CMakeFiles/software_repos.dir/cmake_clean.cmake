@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_repos.dir/software_repos.cpp.o"
+  "CMakeFiles/software_repos.dir/software_repos.cpp.o.d"
+  "software_repos"
+  "software_repos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_repos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("relational")
+subdirs("taxonomy")
+subdirs("graph")
+subdirs("revision")
+subdirs("wikitext")
+subdirs("dump")
+subdirs("synth")
+subdirs("core")
+subdirs("eval")
+subdirs("report")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_common.dir/json.cc.o"
+  "CMakeFiles/wiclean_common.dir/json.cc.o.d"
+  "CMakeFiles/wiclean_common.dir/logging.cc.o"
+  "CMakeFiles/wiclean_common.dir/logging.cc.o.d"
+  "CMakeFiles/wiclean_common.dir/rng.cc.o"
+  "CMakeFiles/wiclean_common.dir/rng.cc.o.d"
+  "CMakeFiles/wiclean_common.dir/status.cc.o"
+  "CMakeFiles/wiclean_common.dir/status.cc.o.d"
+  "CMakeFiles/wiclean_common.dir/strings.cc.o"
+  "CMakeFiles/wiclean_common.dir/strings.cc.o.d"
+  "CMakeFiles/wiclean_common.dir/thread_pool.cc.o"
+  "CMakeFiles/wiclean_common.dir/thread_pool.cc.o.d"
+  "libwiclean_common.a"
+  "libwiclean_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action_index.cc" "src/core/CMakeFiles/wiclean_core.dir/action_index.cc.o" "gcc" "src/core/CMakeFiles/wiclean_core.dir/action_index.cc.o.d"
+  "/root/repo/src/core/assist.cc" "src/core/CMakeFiles/wiclean_core.dir/assist.cc.o" "gcc" "src/core/CMakeFiles/wiclean_core.dir/assist.cc.o.d"
+  "/root/repo/src/core/miner.cc" "src/core/CMakeFiles/wiclean_core.dir/miner.cc.o" "gcc" "src/core/CMakeFiles/wiclean_core.dir/miner.cc.o.d"
+  "/root/repo/src/core/partial.cc" "src/core/CMakeFiles/wiclean_core.dir/partial.cc.o" "gcc" "src/core/CMakeFiles/wiclean_core.dir/partial.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/wiclean_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/wiclean_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/window_search.cc" "src/core/CMakeFiles/wiclean_core.dir/window_search.cc.o" "gcc" "src/core/CMakeFiles/wiclean_core.dir/window_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wiclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wiclean_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/wiclean_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/revision/CMakeFiles/wiclean_revision.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/wiclean_taxonomy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_core.dir/action_index.cc.o"
+  "CMakeFiles/wiclean_core.dir/action_index.cc.o.d"
+  "CMakeFiles/wiclean_core.dir/assist.cc.o"
+  "CMakeFiles/wiclean_core.dir/assist.cc.o.d"
+  "CMakeFiles/wiclean_core.dir/miner.cc.o"
+  "CMakeFiles/wiclean_core.dir/miner.cc.o.d"
+  "CMakeFiles/wiclean_core.dir/partial.cc.o"
+  "CMakeFiles/wiclean_core.dir/partial.cc.o.d"
+  "CMakeFiles/wiclean_core.dir/pattern.cc.o"
+  "CMakeFiles/wiclean_core.dir/pattern.cc.o.d"
+  "CMakeFiles/wiclean_core.dir/window_search.cc.o"
+  "CMakeFiles/wiclean_core.dir/window_search.cc.o.d"
+  "libwiclean_core.a"
+  "libwiclean_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_dump.dir/alignment.cc.o"
+  "CMakeFiles/wiclean_dump.dir/alignment.cc.o.d"
+  "CMakeFiles/wiclean_dump.dir/dump.cc.o"
+  "CMakeFiles/wiclean_dump.dir/dump.cc.o.d"
+  "CMakeFiles/wiclean_dump.dir/ingest.cc.o"
+  "CMakeFiles/wiclean_dump.dir/ingest.cc.o.d"
+  "CMakeFiles/wiclean_dump.dir/xml_util.cc.o"
+  "CMakeFiles/wiclean_dump.dir/xml_util.cc.o.d"
+  "libwiclean_dump.a"
+  "libwiclean_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_eval.dir/quality.cc.o"
+  "CMakeFiles/wiclean_eval.dir/quality.cc.o.d"
+  "libwiclean_eval.a"
+  "libwiclean_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

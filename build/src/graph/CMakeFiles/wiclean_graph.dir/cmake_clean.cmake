@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_graph.dir/entity_registry.cc.o"
+  "CMakeFiles/wiclean_graph.dir/entity_registry.cc.o.d"
+  "CMakeFiles/wiclean_graph.dir/wiki_graph.cc.o"
+  "CMakeFiles/wiclean_graph.dir/wiki_graph.cc.o.d"
+  "libwiclean_graph.a"
+  "libwiclean_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

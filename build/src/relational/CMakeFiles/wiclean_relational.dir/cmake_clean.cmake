@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_relational.dir/column.cc.o"
+  "CMakeFiles/wiclean_relational.dir/column.cc.o.d"
+  "CMakeFiles/wiclean_relational.dir/ops.cc.o"
+  "CMakeFiles/wiclean_relational.dir/ops.cc.o.d"
+  "CMakeFiles/wiclean_relational.dir/schema.cc.o"
+  "CMakeFiles/wiclean_relational.dir/schema.cc.o.d"
+  "CMakeFiles/wiclean_relational.dir/table.cc.o"
+  "CMakeFiles/wiclean_relational.dir/table.cc.o.d"
+  "CMakeFiles/wiclean_relational.dir/value.cc.o"
+  "CMakeFiles/wiclean_relational.dir/value.cc.o.d"
+  "libwiclean_relational.a"
+  "libwiclean_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwiclean_relational.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_report.dir/report.cc.o"
+  "CMakeFiles/wiclean_report.dir/report.cc.o.d"
+  "libwiclean_report.a"
+  "libwiclean_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

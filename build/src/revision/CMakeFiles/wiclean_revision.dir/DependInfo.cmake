@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/revision/action.cc" "src/revision/CMakeFiles/wiclean_revision.dir/action.cc.o" "gcc" "src/revision/CMakeFiles/wiclean_revision.dir/action.cc.o.d"
+  "/root/repo/src/revision/revision_store.cc" "src/revision/CMakeFiles/wiclean_revision.dir/revision_store.cc.o" "gcc" "src/revision/CMakeFiles/wiclean_revision.dir/revision_store.cc.o.d"
+  "/root/repo/src/revision/window.cc" "src/revision/CMakeFiles/wiclean_revision.dir/window.cc.o" "gcc" "src/revision/CMakeFiles/wiclean_revision.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wiclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wiclean_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/wiclean_taxonomy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_revision.dir/action.cc.o"
+  "CMakeFiles/wiclean_revision.dir/action.cc.o.d"
+  "CMakeFiles/wiclean_revision.dir/revision_store.cc.o"
+  "CMakeFiles/wiclean_revision.dir/revision_store.cc.o.d"
+  "CMakeFiles/wiclean_revision.dir/window.cc.o"
+  "CMakeFiles/wiclean_revision.dir/window.cc.o.d"
+  "libwiclean_revision.a"
+  "libwiclean_revision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_revision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

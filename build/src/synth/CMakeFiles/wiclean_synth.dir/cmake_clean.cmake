@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_synth.dir/catalog.cc.o"
+  "CMakeFiles/wiclean_synth.dir/catalog.cc.o.d"
+  "CMakeFiles/wiclean_synth.dir/domain.cc.o"
+  "CMakeFiles/wiclean_synth.dir/domain.cc.o.d"
+  "CMakeFiles/wiclean_synth.dir/dump_render.cc.o"
+  "CMakeFiles/wiclean_synth.dir/dump_render.cc.o.d"
+  "CMakeFiles/wiclean_synth.dir/synthesizer.cc.o"
+  "CMakeFiles/wiclean_synth.dir/synthesizer.cc.o.d"
+  "libwiclean_synth.a"
+  "libwiclean_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/wiclean_taxonomy.dir/taxonomy.cc.o.d"
+  "libwiclean_taxonomy.a"
+  "libwiclean_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean_wikitext.dir/infobox.cc.o"
+  "CMakeFiles/wiclean_wikitext.dir/infobox.cc.o.d"
+  "libwiclean_wikitext.a"
+  "libwiclean_wikitext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean_wikitext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

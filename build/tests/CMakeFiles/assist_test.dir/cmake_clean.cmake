@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assist_test.dir/assist_test.cc.o"
+  "CMakeFiles/assist_test.dir/assist_test.cc.o.d"
+  "assist_test"
+  "assist_test.pdb"
+  "assist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

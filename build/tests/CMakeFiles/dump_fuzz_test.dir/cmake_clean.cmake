@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_fuzz_test.dir/dump_fuzz_test.cc.o"
+  "CMakeFiles/dump_fuzz_test.dir/dump_fuzz_test.cc.o.d"
+  "dump_fuzz_test"
+  "dump_fuzz_test.pdb"
+  "dump_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

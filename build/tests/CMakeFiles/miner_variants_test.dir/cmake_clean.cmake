@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_variants_test.dir/miner_variants_test.cc.o"
+  "CMakeFiles/miner_variants_test.dir/miner_variants_test.cc.o.d"
+  "miner_variants_test"
+  "miner_variants_test.pdb"
+  "miner_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

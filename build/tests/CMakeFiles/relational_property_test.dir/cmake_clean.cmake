@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_property_test.dir/relational_property_test.cc.o"
+  "CMakeFiles/relational_property_test.dir/relational_property_test.cc.o.d"
+  "relational_property_test"
+  "relational_property_test.pdb"
+  "relational_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

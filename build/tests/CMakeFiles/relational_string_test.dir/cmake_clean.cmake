@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_string_test.dir/relational_string_test.cc.o"
+  "CMakeFiles/relational_string_test.dir/relational_string_test.cc.o.d"
+  "relational_string_test"
+  "relational_string_test.pdb"
+  "relational_string_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revision_test.dir/revision_test.cc.o"
+  "CMakeFiles/revision_test.dir/revision_test.cc.o.d"
+  "revision_test"
+  "revision_test.pdb"
+  "revision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_search_test.dir/window_search_test.cc.o"
+  "CMakeFiles/window_search_test.dir/window_search_test.cc.o.d"
+  "window_search_test"
+  "window_search_test.pdb"
+  "window_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_property_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/revision_test[1]_include.cmake")
+include("/root/repo/build/tests/wikitext_test[1]_include.cmake")
+include("/root/repo/build/tests/dump_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/miner_test[1]_include.cmake")
+include("/root/repo/build/tests/miner_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/window_search_test[1]_include.cmake")
+include("/root/repo/build/tests/partial_test[1]_include.cmake")
+include("/root/repo/build/tests/assist_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/alignment_test[1]_include.cmake")
+include("/root/repo/build/tests/action_index_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/miner_property_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_string_test[1]_include.cmake")
+include("/root/repo/build/tests/dump_fuzz_test[1]_include.cmake")
+add_test(cli_smoke "/usr/bin/cmake" "-DWICLEAN=/root/repo/build/tools/wiclean" "-DWORK_DIR=/root/repo/build/cli_smoke" "-P" "/root/repo/tests/cli_smoke.cmake")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")

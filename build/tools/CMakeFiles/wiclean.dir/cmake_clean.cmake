@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiclean.dir/wiclean_cli.cc.o"
+  "CMakeFiles/wiclean.dir/wiclean_cli.cc.o.d"
+  "wiclean"
+  "wiclean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiclean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
