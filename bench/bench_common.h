@@ -34,11 +34,16 @@ inline SynthWorld MakeSoccerWorld(size_t seeds, uint64_t rng_seed = 97,
 }
 
 /// The paper's preprocessing step: render the world's history as a MediaWiki
-/// dump, then parse/diff it back into a revision store. Returns the wall
-/// time in seconds; the reconstructed store is written to *store.
+/// dump, then parse/diff it back into a revision store through the staged
+/// ingestion pipeline. Returns the wall time in seconds; the reconstructed
+/// store is written to *store. `options.num_threads` widens the parse/diff
+/// stage; `stats_out` (optional) receives the counters and the per-stage
+/// read/parse/merge split.
 inline double TimeDumpPreprocessing(const SynthWorld& world,
                                     Timestamp time_begin, Timestamp time_end,
-                                    RevisionStore* store) {
+                                    RevisionStore* store,
+                                    const IngestOptions& options = {},
+                                    IngestStats* stats_out = nullptr) {
   std::ostringstream dump;
   // Rendering is the *generator's* job, not the system's: exclude it.
   if (!WriteDump(world, time_begin, time_end, &dump).ok()) {
@@ -49,13 +54,15 @@ inline double TimeDumpPreprocessing(const SynthWorld& world,
 
   Timer timer;
   std::istringstream in(text);
-  Result<IngestStats> stats = IngestDump(&in, *world.registry, store, {});
+  Result<IngestStats> stats = IngestDump(&in, *world.registry, store, options);
   if (!stats.ok()) {
     std::fprintf(stderr, "ingest failed: %s\n",
                  stats.status().ToString().c_str());
     std::exit(1);
   }
-  return timer.ElapsedSeconds();
+  double elapsed = timer.ElapsedSeconds();
+  if (stats_out != nullptr) *stats_out = *stats;
+  return elapsed;
 }
 
 /// argv[1] (if present) overrides a default size parameter, so the harnesses

@@ -1,0 +1,59 @@
+// Fig 4(d)-style harness for the *preprocessing* column: dump parse/diff
+// time, sequential vs the staged parallel ingestion pipeline.
+//
+// The paper's dominant preprocessing cost is turning raw revision texts into
+// the structured edit log (§6.1/§6.2 "crawl and parse"); this harness times
+// exactly that step — PageSource -> parse/diff workers -> ordered ActionSink
+// — at 1, 2, 4 and 8 workers, and prints where the time goes per stage
+// (read / parse+diff / merge; parse is summed across workers).
+//
+// IMPORTANT CAVEAT (same as bench/fig4d_parallel): this reproduction host
+// may have a single physical core, in which case the multi-thread columns
+// measure pipeline overhead rather than hardware parallelism — expect ~1.0x
+// here and real speedups on multi-core hardware. Per-page parse/diff work is
+// independent, so the decomposition scales with cores.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+
+using namespace wiclean;
+using namespace wiclean::bench;
+
+int main(int argc, char** argv) {
+  size_t scale = SizeArg(argc, argv, 800);
+  const size_t seed_sizes[] = {scale / 4, scale / 2, scale};
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  std::printf(
+      "Preprocessing (dump parse/diff) time: staged pipeline, 1-8 workers\n"
+      "one year of synthetic soccer history; times in seconds\n"
+      "host hardware concurrency: %u (single-core hosts measure overhead "
+      "only)\n\n",
+      std::thread::hardware_concurrency());
+  std::printf("%-16s %8s %10s %10s %10s %10s %10s\n", "seeds(actions)",
+              "threads", "wall", "read", "parse*", "merge", "speedup");
+
+  for (size_t seeds : seed_sizes) {
+    SynthWorld world = MakeSoccerWorld(seeds);
+    double serial = 0.0;
+    for (size_t threads : thread_counts) {
+      IngestOptions options;
+      options.num_threads = threads;
+      RevisionStore store;
+      IngestStats stats;
+      double wall = TimeDumpPreprocessing(world, 0, kSecondsPerYear, &store,
+                                          options, &stats);
+      if (threads == 1) serial = wall;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%zu (%zu)", seeds, stats.actions);
+      std::printf("%-16s %8zu %10.3f %10.3f %10.3f %10.3f %9.2fx\n", label,
+                  threads, wall, stats.read_seconds, stats.parse_seconds,
+                  stats.merge_seconds, wall > 0 ? serial / wall : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("* parse time is summed across workers; it can exceed wall.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#ifndef WICLEAN_COMMON_BOUNDED_QUEUE_H_
+#define WICLEAN_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace wiclean {
+
+/// Bounded multi-producer/multi-consumer queue with blocking backpressure —
+/// the hand-off buffer between ingestion pipeline stages. A producer that
+/// races ahead of slow consumers blocks in Push() once `capacity` items are
+/// queued, which is what keeps the streaming dump reader's memory bounded by
+/// `capacity` pages rather than the dump.
+///
+/// Lifecycle:
+///   - Close():  no further Push succeeds; Pop drains the remaining items and
+///               then returns false. The normal end-of-stream signal.
+///   - Cancel(): discards queued items and wakes every blocked caller; both
+///               Push and Pop return false immediately. The error-abort
+///               signal — a failed consumer cancels so a producer blocked on
+///               a full queue cannot hang.
+///
+/// All methods are safe to call concurrently from any thread.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity 0 is clamped to 1 (a zero-capacity queue could never accept).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns true once `item` is enqueued;
+  /// false if the queue was closed or cancelled (item dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || cancelled_ || items_.size() < capacity_;
+    });
+    if (closed_ || cancelled_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and still open. Returns true with *out
+  /// filled, or false when the queue is cancelled or closed-and-drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] {
+      return cancelled_ || closed_ || !items_.empty();
+    });
+    if (cancelled_ || items_.empty()) return false;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: queued items remain poppable, new pushes fail.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Aborts the stream: queued items are discarded, everyone wakes up.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_COMMON_BOUNDED_QUEUE_H_

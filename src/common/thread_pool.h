@@ -13,10 +13,18 @@ namespace wiclean {
 
 /// Fixed-size worker pool used to parallelize per-window and per-type work in
 /// the mining pipeline (the paper's "embarrassingly parallel" decomposition of
-/// non-overlapping time windows, §4.3/§6.2).
+/// non-overlapping time windows, §4.3/§6.2) and the parse/diff stage of the
+/// dump-ingestion pipeline (dump/pipeline.h).
 ///
 /// Tasks are plain std::function<void()>; results flow through captured state
 /// owned by the caller. Wait() blocks until every submitted task has finished.
+///
+/// Reuse semantics: the pool stays alive until destruction — Submit after
+/// Wait is valid and starts a new batch (repeated ParallelFor calls on one
+/// pool are exactly such Submit/Wait cycles). Submit and Wait
+/// may be called concurrently from multiple threads; Wait returns at an
+/// instant when the queue was observed empty with no task running, so a Wait
+/// racing a Submit may or may not cover the racing task.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).

@@ -178,20 +178,59 @@ Result<DumpPage> ParsePageElement(StreamCursor* cur) {
 
 }  // namespace
 
+struct DumpPageStream::Impl {
+  explicit Impl(std::istream* in) : cursor(in) {}
+
+  StreamCursor cursor;
+  bool header_consumed = false;
+  bool finished = false;   // clean end already reported
+  Status error;            // first error, sticky
+};
+
+DumpPageStream::DumpPageStream(std::istream* in)
+    : impl_(std::make_unique<Impl>(in)) {}
+
+DumpPageStream::~DumpPageStream() = default;
+
+Result<bool> DumpPageStream::Next(DumpPage* page) {
+  Impl& s = *impl_;
+  if (!s.error.ok()) return s.error;
+  if (s.finished) return false;
+
+  auto fail = [&s](Status status) -> Result<bool> {
+    s.error = std::move(status);
+    return s.error;
+  };
+
+  if (!s.header_consumed) {
+    Status status = s.cursor.Expect("<mediawiki>");
+    if (!status.ok()) return fail(std::move(status));
+    s.header_consumed = true;
+  }
+  if (s.cursor.Consume("</mediawiki>")) {
+    if (!s.cursor.AtEof()) {
+      return fail(Status::Corruption("trailing content after </mediawiki>"));
+    }
+    s.finished = true;
+    return false;
+  }
+  Status status = s.cursor.Expect("<page>");
+  if (!status.ok()) return fail(std::move(status));
+  Result<DumpPage> parsed = ParsePageElement(&s.cursor);
+  if (!parsed.ok()) return fail(parsed.status());
+  *page = std::move(parsed).value();
+  s.cursor.Compact();
+  return true;
+}
+
 Status DumpReader::ReadAll(std::istream* in, const PageCallback& on_page) {
-  StreamCursor cur(in);
-  WICLEAN_RETURN_IF_ERROR(cur.Expect("<mediawiki>"));
+  DumpPageStream stream(in);
+  DumpPage page;
   for (;;) {
-    if (cur.Consume("</mediawiki>")) break;
-    WICLEAN_RETURN_IF_ERROR(cur.Expect("<page>"));
-    WICLEAN_ASSIGN_OR_RETURN(DumpPage page, ParsePageElement(&cur));
+    WICLEAN_ASSIGN_OR_RETURN(bool more, stream.Next(&page));
+    if (!more) return Status::OK();
     WICLEAN_RETURN_IF_ERROR(on_page(page));
-    cur.Compact();
   }
-  if (!cur.AtEof()) {
-    return Status::Corruption("trailing content after </mediawiki>");
-  }
-  return Status::OK();
 }
 
 }  // namespace wiclean

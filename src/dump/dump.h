@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -61,11 +62,37 @@ class DumpWriter {
   bool begun_ = false;
 };
 
-/// Streaming dump reader: parses one <page> element at a time and hands it to
-/// a callback, keeping memory proportional to a single page rather than the
-/// dump. The parser accepts the subset of XML that DumpWriter emits (plus
-/// arbitrary whitespace) and reports malformed input as Corruption with a
-/// description of what was expected.
+/// Pull-style streaming dump parser: yields one <page> element per Next()
+/// call, keeping memory proportional to a single page rather than the dump.
+/// The parser accepts the subset of XML that DumpWriter emits (plus arbitrary
+/// whitespace) and reports malformed input as Corruption with a description
+/// of what was expected.
+///
+/// This is the reader half of the ingestion pipeline's PageSource stage; the
+/// pull shape (vs. the callback-based DumpReader below) is what lets a
+/// pipeline interleave reading with parallel downstream parsing.
+class DumpPageStream {
+ public:
+  /// The stream must outlive this object.
+  explicit DumpPageStream(std::istream* in);
+  ~DumpPageStream();
+
+  DumpPageStream(const DumpPageStream&) = delete;
+  DumpPageStream& operator=(const DumpPageStream&) = delete;
+
+  /// Parses the next page into *page. Returns true on success, false at
+  /// clean end of dump (</mediawiki> seen and nothing but whitespace after),
+  /// or Corruption on malformed input. After false or an error, further
+  /// calls keep returning the same outcome.
+  Result<bool> Next(DumpPage* page);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Callback-style dump reader retained for simple whole-stream consumers;
+/// implemented on top of DumpPageStream.
 class DumpReader {
  public:
   using PageCallback = std::function<Status(const DumpPage&)>;

@@ -1,40 +1,50 @@
 #include "dump/ingest.h"
 
+#include <cstdio>
+
+#include "dump/page_source.h"
+#include "dump/pipeline.h"
 #include "wikitext/infobox.h"
 
 namespace wiclean {
 
 std::string IngestStats::ToString() const {
+  char timing[96];
+  std::snprintf(timing, sizeof(timing),
+                " read=%.3fs parse=%.3fs merge=%.3fs", read_seconds,
+                parse_seconds, merge_seconds);
   return "pages=" + std::to_string(pages) +
          " revisions=" + std::to_string(revisions) +
          " actions=" + std::to_string(actions) +
          " unknown_pages=" + std::to_string(unknown_pages) +
-         " unresolved_links=" + std::to_string(unresolved_links);
+         " unresolved_links=" + std::to_string(unresolved_links) + timing;
 }
 
-Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
-                  RevisionStore* store, const IngestOptions& options,
-                  IngestStats* stats) {
+Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
+                                     const EntityRegistry& registry,
+                                     const IngestOptions& options) {
+  PageActions batch;
+  batch.sequence = sequence;
+
   Result<EntityId> subject = registry.FindByName(page.title);
   if (!subject.ok()) {
     if (options.strict_pages) {
       return Status::NotFound("dump page '" + page.title +
                               "' is not a registered entity");
     }
-    ++stats->unknown_pages;
-    return Status::OK();
+    return batch;  // known_page stays false; the page is skipped
   }
+  batch.known_page = true;
 
-  ++stats->pages;
   std::string previous_text;  // first revision diffs against the empty page
   for (const DumpRevision& rev : page.revisions) {
-    ++stats->revisions;
+    ++batch.revisions;
     WICLEAN_ASSIGN_OR_RETURN(LinkDelta delta,
                              DiffRevisions(previous_text, rev.text));
     auto emit = [&](EditOp op, const InfoboxLink& link) {
       Result<EntityId> object = registry.FindByName(link.target_title);
       if (!object.ok()) {
-        ++stats->unresolved_links;
+        ++batch.unresolved_links;
         return;
       }
       Action action;
@@ -43,13 +53,29 @@ Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
       action.relation = link.relation;
       action.object = object.value();
       action.time = rev.timestamp;
-      store->Add(std::move(action));
-      ++stats->actions;
+      batch.actions.push_back(std::move(action));
     };
     for (const InfoboxLink& link : delta.removed) emit(EditOp::kRemove, link);
     for (const InfoboxLink& link : delta.added) emit(EditOp::kAdd, link);
     previous_text = rev.text;
   }
+  return batch;
+}
+
+Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
+                  RevisionStore* store, const IngestOptions& options,
+                  IngestStats* stats) {
+  WICLEAN_ASSIGN_OR_RETURN(PageActions batch,
+                           ParsePageActions(page, 0, registry, options));
+  if (!batch.known_page) {
+    ++stats->unknown_pages;
+    return Status::OK();
+  }
+  ++stats->pages;
+  stats->revisions += batch.revisions;
+  stats->actions += batch.actions.size();
+  stats->unresolved_links += batch.unresolved_links;
+  for (Action& action : batch.actions) store->Add(std::move(action));
   return Status::OK();
 }
 
@@ -57,13 +83,9 @@ Result<IngestStats> IngestDump(std::istream* in,
                                const EntityRegistry& registry,
                                RevisionStore* store,
                                const IngestOptions& options) {
-  IngestStats stats;
-  Status status =
-      DumpReader::ReadAll(in, [&](const DumpPage& page) -> Status {
-        return IngestPage(page, registry, store, options, &stats);
-      });
-  if (!status.ok()) return status;
-  return stats;
+  XmlPageSource source(in);
+  RevisionStoreSink sink(store);
+  return RunIngestPipeline(&source, registry, &sink, options);
 }
 
 }  // namespace wiclean

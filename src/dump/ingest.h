@@ -1,10 +1,12 @@
 #ifndef WICLEAN_DUMP_INGEST_H_
 #define WICLEAN_DUMP_INGEST_H_
 
+#include <cstdint>
 #include <istream>
 #include <string>
 
 #include "common/result.h"
+#include "dump/action_sink.h"
 #include "dump/dump.h"
 #include "graph/entity_registry.h"
 #include "revision/revision_store.h"
@@ -20,17 +22,51 @@ struct IngestStats {
   size_t unknown_pages = 0;     // pages whose title is not registered
   size_t unresolved_links = 0;  // link targets not registered (skipped)
 
+  /// Per-stage wall time, so harnesses can report where preprocessing time
+  /// goes. `read_seconds` and `merge_seconds` are wall time spent in the
+  /// PageSource and ActionSink stages (always single-threaded);
+  /// `parse_seconds` is the *summed* time across parse/diff workers, so with
+  /// num_threads > 1 it can exceed the elapsed wall time.
+  double read_seconds = 0.0;
+  double parse_seconds = 0.0;
+  double merge_seconds = 0.0;
+
   std::string ToString() const;
 };
 
-/// Options controlling ingestion strictness.
+/// Options controlling ingestion strictness and parallelism.
 struct IngestOptions {
   /// When true, an unregistered page title aborts with NotFound; when false
   /// (default) the page is skipped and counted in unknown_pages. Link targets
   /// that do not resolve are always skipped and counted — real dumps link to
   /// plenty of articles outside any entity alignment.
   bool strict_pages = false;
+
+  /// Parse/diff workers. 1 (default) ingests synchronously on the calling
+  /// thread — exactly the pre-pipeline behavior, no threads spawned. With
+  /// N > 1, pages fan out across a ThreadPool of N workers; the resulting
+  /// RevisionStore is byte-identical to the sequential one because batches
+  /// are merged in page order.
+  size_t num_threads = 1;
+
+  /// Bound on the reader-to-workers page queue: the reader blocks once this
+  /// many parsed-but-unconsumed pages are buffered, keeping memory
+  /// proportional to the queue, not the dump. Ignored when num_threads <= 1.
+  size_t queue_capacity = 64;
 };
+
+/// The parse/diff stage as a pure function: extracts the infobox-link edits
+/// of one page (consecutive revisions diffed, the first against the empty
+/// page) and resolves titles against the registry. No shared state is
+/// touched — safe to call concurrently for distinct pages, which is what the
+/// parallel ingestion pipeline does.
+///
+/// Errors: Corruption from the wikitext parser, or NotFound for an
+/// unregistered page title when options.strict_pages is set (otherwise the
+/// batch comes back with known_page = false and no actions).
+Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
+                                     const EntityRegistry& registry,
+                                     const IngestOptions& options);
 
 /// Replays a dump into a RevisionStore: for every page, consecutive revision
 /// texts are diffed (the first against the empty page) and each added/removed
@@ -38,14 +74,16 @@ struct IngestOptions {
 ///
 /// This is the paper's crawl-and-parse preprocessing step (§6.1/§6.2): the
 /// revision history arrives as full page texts, and the structured edit log
-/// must be reconstructed by parsing and diffing.
+/// must be reconstructed by parsing and diffing. Thin wrapper over
+/// RunIngestPipeline (see dump/pipeline.h) with an XmlPageSource and a
+/// RevisionStoreSink; options.num_threads parallelizes the parse/diff stage.
 Result<IngestStats> IngestDump(std::istream* in,
                                const EntityRegistry& registry,
                                RevisionStore* store,
                                const IngestOptions& options = {});
 
-/// Ingests a single already-parsed page (used by IngestDump and directly by
-/// tests). Appends recovered actions to `store` and updates `stats`.
+/// Ingests a single already-parsed page (used directly by tests and simple
+/// consumers). Appends recovered actions to `store` and updates `stats`.
 Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
                   RevisionStore* store, const IngestOptions& options,
                   IngestStats* stats);

@@ -1,0 +1,60 @@
+#ifndef WICLEAN_DUMP_PAGE_SOURCE_H_
+#define WICLEAN_DUMP_PAGE_SOURCE_H_
+
+#include <istream>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dump/dump.h"
+
+namespace wiclean {
+
+/// First stage of the ingestion pipeline: a stream of DumpPages. The pipeline
+/// pulls pages one at a time from a single thread, so implementations need
+/// not be thread-safe; they only need to be streaming (memory proportional to
+/// one page, not the corpus).
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Fills *page with the next page and returns true; returns false at end
+  /// of stream; returns an error status on malformed input. After false or
+  /// an error, further calls repeat the same outcome.
+  virtual Result<bool> Next(DumpPage* page) = 0;
+};
+
+/// Streams pages out of a MediaWiki-style XML dump (the production path —
+/// the paper's "crawl and parse" input).
+class XmlPageSource : public PageSource {
+ public:
+  /// The stream must outlive this object.
+  explicit XmlPageSource(std::istream* in) : stream_(in) {}
+
+  Result<bool> Next(DumpPage* page) override { return stream_.Next(page); }
+
+ private:
+  DumpPageStream stream_;
+};
+
+/// Serves an in-memory page list — the synth/test path, and the way to feed
+/// the pipeline pages that never existed as XML.
+class VectorPageSource : public PageSource {
+ public:
+  explicit VectorPageSource(std::vector<DumpPage> pages)
+      : pages_(std::move(pages)) {}
+
+  Result<bool> Next(DumpPage* page) override {
+    if (next_ >= pages_.size()) return false;
+    *page = std::move(pages_[next_++]);
+    return true;
+  }
+
+ private:
+  std::vector<DumpPage> pages_;
+  size_t next_ = 0;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_DUMP_PAGE_SOURCE_H_

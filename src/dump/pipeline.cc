@@ -1,0 +1,176 @@
+#include "dump/pipeline.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/bounded_queue.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace wiclean {
+namespace {
+
+/// Folds one merged batch into the run counters. Runs inside the ordered
+/// merge, so counts are deterministic regardless of worker scheduling.
+void AccumulateStats(const PageActions& batch, IngestStats* stats) {
+  if (!batch.known_page) {
+    ++stats->unknown_pages;
+    return;
+  }
+  ++stats->pages;
+  stats->revisions += batch.revisions;
+  stats->actions += batch.actions.size();
+  stats->unresolved_links += batch.unresolved_links;
+}
+
+/// num_threads <= 1: all three stages inline on the calling thread. This is
+/// the exact historical IngestDump loop, kept separate so the default path
+/// spawns no threads and pays no queue or ordering overhead.
+Result<IngestStats> RunSequential(PageSource* source,
+                                  const EntityRegistry& registry,
+                                  ActionSink* sink,
+                                  const IngestOptions& options) {
+  IngestStats stats;
+  uint64_t sequence = 0;
+  DumpPage page;
+  for (;;) {
+    Timer read_timer;
+    Result<bool> more = source->Next(&page);
+    stats.read_seconds += read_timer.ElapsedSeconds();
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+
+    Timer parse_timer;
+    Result<PageActions> batch =
+        ParsePageActions(page, sequence++, registry, options);
+    stats.parse_seconds += parse_timer.ElapsedSeconds();
+    if (!batch.ok()) return batch.status();
+
+    Timer merge_timer;
+    AccumulateStats(*batch, &stats);
+    Status status = sink->Append(std::move(batch).value());
+    stats.merge_seconds += merge_timer.ElapsedSeconds();
+    if (!status.ok()) return status;
+  }
+  return stats;
+}
+
+/// One (sequence, page) unit of work handed from the reader to the workers.
+struct WorkItem {
+  uint64_t sequence = 0;
+  DumpPage page;
+};
+
+/// Shared state of one parallel run: the reorder buffer, the merged
+/// counters, and the first error. All of it is guarded by `mu`; merging into
+/// the sink happens under the lock, which serializes Append calls and
+/// preserves exact source order (the sink sees sequence 0, 1, 2, ... no
+/// matter which worker finished first).
+struct MergeState {
+  std::mutex mu;
+  std::map<uint64_t, PageActions> pending;  // finished, not yet mergeable
+  uint64_t next_sequence = 0;               // next batch the sink expects
+  IngestStats stats;
+  Status first_error;
+  std::atomic<int64_t> parse_micros{0};
+  int64_t merge_micros = 0;  // guarded by mu
+};
+
+Result<IngestStats> RunParallel(PageSource* source,
+                                const EntityRegistry& registry,
+                                ActionSink* sink,
+                                const IngestOptions& options) {
+  BoundedQueue<WorkItem> queue(options.queue_capacity);
+  MergeState state;
+
+  // Any stage reporting a failure cancels the queue: a reader blocked on a
+  // full queue wakes up and stops, workers' Pop calls return false and they
+  // drain. Only the first error is kept.
+  auto record_error = [&](Status status) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.first_error.ok()) state.first_error = std::move(status);
+    }
+    queue.Cancel();
+  };
+
+  ThreadPool pool(options.num_threads);
+  for (size_t w = 0; w < options.num_threads; ++w) {
+    pool.Submit([&] {
+      WorkItem item;
+      while (queue.Pop(&item)) {
+        Timer parse_timer;
+        Result<PageActions> batch =
+            ParsePageActions(item.page, item.sequence, registry, options);
+        state.parse_micros.fetch_add(
+            static_cast<int64_t>(parse_timer.ElapsedSeconds() * 1e6),
+            std::memory_order_relaxed);
+        if (!batch.ok()) {
+          record_error(batch.status());
+          return;
+        }
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.pending.emplace(item.sequence, std::move(batch).value());
+        // Flush the contiguous run now available, in sequence order.
+        while (!state.pending.empty() && state.first_error.ok()) {
+          auto front = state.pending.begin();
+          if (front->first != state.next_sequence) break;
+          Timer merge_timer;
+          AccumulateStats(front->second, &state.stats);
+          Status status = sink->Append(std::move(front->second));
+          state.merge_micros +=
+              static_cast<int64_t>(merge_timer.ElapsedSeconds() * 1e6);
+          state.pending.erase(front);
+          ++state.next_sequence;
+          if (!status.ok()) {
+            state.first_error = std::move(status);
+            queue.Cancel();
+          }
+        }
+      }
+    });
+  }
+
+  // Stage 1, on the calling thread: pull pages and push them downstream.
+  // Push blocking on a full queue is the backpressure that keeps the reader
+  // at most queue_capacity pages ahead.
+  uint64_t sequence = 0;
+  for (;;) {
+    WorkItem item;
+    Timer read_timer;
+    Result<bool> more = source->Next(&item.page);
+    state.stats.read_seconds += read_timer.ElapsedSeconds();
+    if (!more.ok()) {
+      record_error(more.status());
+      break;
+    }
+    if (!*more) break;
+    item.sequence = sequence++;
+    if (!queue.Push(std::move(item))) break;  // cancelled by a failed stage
+  }
+  queue.Close();
+  pool.Wait();
+
+  if (!state.first_error.ok()) return state.first_error;
+  state.stats.parse_seconds =
+      static_cast<double>(state.parse_micros.load()) / 1e6;
+  state.stats.merge_seconds = static_cast<double>(state.merge_micros) / 1e6;
+  return std::move(state.stats);
+}
+
+}  // namespace
+
+Result<IngestStats> RunIngestPipeline(PageSource* source,
+                                      const EntityRegistry& registry,
+                                      ActionSink* sink,
+                                      const IngestOptions& options) {
+  if (options.num_threads <= 1) {
+    return RunSequential(source, registry, sink, options);
+  }
+  return RunParallel(source, registry, sink, options);
+}
+
+}  // namespace wiclean

@@ -1,0 +1,42 @@
+#ifndef WICLEAN_DUMP_PIPELINE_H_
+#define WICLEAN_DUMP_PIPELINE_H_
+
+#include "common/result.h"
+#include "dump/action_sink.h"
+#include "dump/ingest.h"
+#include "dump/page_source.h"
+#include "graph/entity_registry.h"
+
+namespace wiclean {
+
+/// The staged ingestion pipeline — the paper's preprocessing step decomposed
+/// into three composable stages:
+///
+///   PageSource ──► bounded queue ──► parse/diff workers ──► ordered merge
+///    (1 thread)    (backpressure)     (ThreadPool, N)        ──► ActionSink
+///
+/// Stage 1 pulls pages from `source` and pushes (sequence, page) items into a
+/// BoundedQueue of options.queue_capacity, so the reader can never race more
+/// than `capacity` pages ahead of slow workers. Stage 2 runs
+/// ParsePageActions on each page — pure per-page work (infobox extraction +
+/// revision diffing + title resolution), which is why pages parallelize with
+/// no locking. Stage 3 reorders finished batches by sequence number and
+/// feeds `sink` in exact source order, so the output is deterministic — a
+/// RevisionStore built with 8 workers is identical to one built with 1.
+///
+/// Error handling: the first failing stage (malformed XML in the source,
+/// Corruption from a worker, a sink error) records its status and cancels
+/// the queue, which unblocks the reader and drains every worker — no hang,
+/// no leaked tasks — and that first status is returned.
+///
+/// options.num_threads <= 1 runs all three stages synchronously on the
+/// calling thread (no queue, no pool): exactly the historical IngestDump
+/// behavior.
+Result<IngestStats> RunIngestPipeline(PageSource* source,
+                                      const EntityRegistry& registry,
+                                      ActionSink* sink,
+                                      const IngestOptions& options = {});
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_DUMP_PIPELINE_H_

@@ -18,6 +18,11 @@ namespace wiclean {
 /// The miner deliberately reads this store *incrementally*, entity set by
 /// entity set, instead of materializing one big edits graph — that asymmetry
 /// is the PM vs PM−inc experiment.
+///
+/// Thread-safety: build-then-read. Add is not synchronized — the parallel
+/// ingestion pipeline (dump/pipeline.h) serializes all Add calls through its
+/// ordered merge stage, and the mining side only reads. Concurrent const
+/// queries are safe once building is done.
 class RevisionStore {
  public:
   RevisionStore() = default;

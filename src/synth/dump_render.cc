@@ -84,11 +84,11 @@ Result<DumpPage> RenderEntityPage(const SynthWorld& world, EntityId entity,
                                 time_end);
 }
 
-Status WriteDump(const SynthWorld& world, Timestamp time_begin,
-                 Timestamp time_end, std::ostream* out) {
+Result<std::vector<DumpPage>> RenderDumpPages(const SynthWorld& world,
+                                              Timestamp time_begin,
+                                              Timestamp time_end) {
   std::vector<std::set<InfoboxLink>> initial = InitialLinksBySource(world);
-  DumpWriter writer(out);
-  writer.Begin();
+  std::vector<DumpPage> pages;
   for (size_t i = 0; i < world.registry->size(); ++i) {
     EntityId id = static_cast<EntityId>(i);
     if (initial[i].empty() && world.store.LogOf(id).empty()) continue;
@@ -96,8 +96,18 @@ Status WriteDump(const SynthWorld& world, Timestamp time_begin,
         DumpPage page,
         RenderWithInitialLinks(world, id, std::move(initial[i]), time_begin,
                                time_end));
-    writer.WritePage(page);
+    pages.push_back(std::move(page));
   }
+  return pages;
+}
+
+Status WriteDump(const SynthWorld& world, Timestamp time_begin,
+                 Timestamp time_end, std::ostream* out) {
+  WICLEAN_ASSIGN_OR_RETURN(std::vector<DumpPage> pages,
+                           RenderDumpPages(world, time_begin, time_end));
+  DumpWriter writer(out);
+  writer.Begin();
+  for (const DumpPage& page : pages) writer.WritePage(page);
   return writer.End();
 }
 

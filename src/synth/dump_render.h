@@ -2,6 +2,7 @@
 #define WICLEAN_SYNTH_DUMP_RENDER_H_
 
 #include <ostream>
+#include <vector>
 
 #include "common/result.h"
 #include "dump/dump.h"
@@ -21,8 +22,16 @@ namespace wiclean {
 Result<DumpPage> RenderEntityPage(const SynthWorld& world, EntityId entity,
                                   Timestamp time_begin, Timestamp time_end);
 
-/// Streams the whole world (every entity with a log or initial links) as one
-/// dump document.
+/// Renders the whole world (every entity with a log or initial links) as an
+/// in-memory page list, in the same deterministic entity-id order WriteDump
+/// streams. Feed it to a VectorPageSource (dump/page_source.h) to run the
+/// ingestion pipeline without an XML detour — the synth/test round-trip path.
+Result<std::vector<DumpPage>> RenderDumpPages(const SynthWorld& world,
+                                              Timestamp time_begin,
+                                              Timestamp time_end);
+
+/// Streams the whole world as one dump document (RenderDumpPages serialized
+/// through DumpWriter).
 Status WriteDump(const SynthWorld& world, Timestamp time_begin,
                  Timestamp time_end, std::ostream* out);
 

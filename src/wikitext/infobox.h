@@ -6,6 +6,13 @@
 
 #include "common/result.h"
 
+// Thread-safety: everything in this header is a pure function of its
+// arguments — no global or function-local mutable state anywhere in the
+// implementation. RenderPage, ParsePage and DiffRevisions may be called
+// concurrently from any number of threads; the parallel ingestion pipeline
+// (dump/pipeline.h) relies on this to diff pages across workers without
+// locking.
+
 namespace wiclean {
 
 /// One interlink extracted from a page's structured section: the infobox

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -254,6 +258,144 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   pool.Submit([&count] { count.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAfterWaitStartsANewBatch) {
+  // The ingestion pipeline and repeated ParallelFor calls rely on a pool
+  // remaining usable across Wait boundaries.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, StressManySmallTasksWithConcurrentSubmitAndWait) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kProducers = 3;
+  constexpr int kTasksPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  // Wait concurrently with submission: must never hang, and each return is
+  // a moment when the queue was observed empty (no stronger guarantee while
+  // producers are still running).
+  for (int i = 0; i < 20; ++i) pool.Wait();
+  for (auto& t : producers) t.join();
+  pool.Wait();  // all producers done: this one covers every task
+  EXPECT_EQ(count.load(), kProducers * kTasksPerProducer);
+}
+
+// ---------- BoundedQueue ----------
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.Push(7));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEndsStream) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // closed: no new items
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));  // ... but queued items still drain
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.Pop(&v));  // drained: end of stream
+}
+
+TEST(BoundedQueueTest, CancelDiscardsItemsAndWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));  // queue now full
+  std::thread producer([&q] {
+    // Blocks on the full queue until Cancel wakes it.
+    EXPECT_FALSE(q.Push(2));
+  });
+  // Give the producer a chance to block, then abort the stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Cancel();
+  producer.join();
+  int v = 0;
+  EXPECT_FALSE(q.Pop(&v));  // cancelled queues discard their items
+  EXPECT_TRUE(q.cancelled());
+}
+
+TEST(BoundedQueueTest, BackpressureBlocksProducerUntilConsumed) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(q.Push(i));
+      pushed.fetch_add(1);
+    }
+  });
+  // The producer can buffer at most capacity items ahead of the consumer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(pushed.load(), 3);  // 2 queued + possibly 1 in flight
+  int v = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.Pop(&v));
+    EXPECT_EQ(v, i);  // FIFO preserved under blocking
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), 6);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(4);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v = 0;
+      while (q.Pop(&v)) {
+        sum.fetch_add(v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) ASSERT_TRUE(q.Push(i));
+    });
+  }
+  for (size_t t = kConsumers; t < threads.size(); ++t) threads[t].join();
+  q.Close();
+  for (int t = 0; t < kConsumers; ++t) threads[t].join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  long expected = static_cast<long>(kProducers) * kPerProducer *
+                  (kPerProducer + 1) / 2;
+  EXPECT_EQ(sum.load(), expected);
 }
 
 }  // namespace
