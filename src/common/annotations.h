@@ -1,0 +1,90 @@
+#ifndef WICLEAN_COMMON_ANNOTATIONS_H_
+#define WICLEAN_COMMON_ANNOTATIONS_H_
+
+/// Clang thread-safety annotation macros (the WC_ prefix is this repo's).
+///
+/// These expand to Clang `capability` attributes when the compiler supports
+/// them and to nothing elsewhere (GCC, MSVC), so they are zero-cost: they
+/// change no codegen, only what `-Wthread-safety` can prove at compile time.
+/// With `-Wthread-safety -Werror=thread-safety` (the WICLEAN_WERROR_ANALYSIS
+/// CMake option; the CI "analysis" lane), reading or writing a
+/// `WC_GUARDED_BY(mu_)` member without holding `mu_` is a build break — the
+/// compiler, not code review, enforces the lock discipline of the concurrent
+/// ingestion pipeline.
+///
+/// The vocabulary follows the Clang capability model (and mirrors Abseil's
+/// thread_annotations.h, the de-facto reference):
+///
+///   - WC_CAPABILITY("mutex")   on a lockable type (common/mutex.h's Mutex)
+///   - WC_SCOPED_CAPABILITY     on an RAII lock holder (MutexLock)
+///   - WC_GUARDED_BY(mu)        on data members: access requires holding mu
+///   - WC_PT_GUARDED_BY(mu)     on pointer members: the pointee requires mu
+///   - WC_REQUIRES(mu)          on functions: caller must hold mu
+///   - WC_ACQUIRE(mu) / WC_RELEASE(mu) on lock/unlock-shaped functions
+///   - WC_TRY_ACQUIRE(ok, mu)   on try-lock-shaped functions
+///   - WC_EXCLUDES(mu)          on functions that must NOT be called with mu
+///                              held (they take it themselves; deadlock guard)
+///   - WC_ASSERT_CAPABILITY(mu) on runtime held-lock assertions
+///   - WC_RETURN_CAPABILITY(mu) on accessors returning a reference to a lock
+///   - WC_NO_THREAD_SAFETY_ANALYSIS escape hatch for functions whose locking
+///                              is correct but beyond the analysis
+///
+/// See docs: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define WC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define WC_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define WC_CAPABILITY(x) WC_THREAD_ANNOTATION_(capability(x))
+
+#define WC_SCOPED_CAPABILITY WC_THREAD_ANNOTATION_(scoped_lockable)
+
+#define WC_GUARDED_BY(x) WC_THREAD_ANNOTATION_(guarded_by(x))
+
+#define WC_PT_GUARDED_BY(x) WC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define WC_ACQUIRED_BEFORE(...) \
+  WC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define WC_ACQUIRED_AFTER(...) \
+  WC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define WC_REQUIRES(...) \
+  WC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define WC_REQUIRES_SHARED(...) \
+  WC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define WC_ACQUIRE(...) \
+  WC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define WC_ACQUIRE_SHARED(...) \
+  WC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define WC_RELEASE(...) \
+  WC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define WC_RELEASE_SHARED(...) \
+  WC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define WC_TRY_ACQUIRE(...) \
+  WC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define WC_TRY_ACQUIRE_SHARED(...) \
+  WC_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define WC_EXCLUDES(...) WC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define WC_ASSERT_CAPABILITY(x) WC_THREAD_ANNOTATION_(assert_capability(x))
+
+#define WC_ASSERT_SHARED_CAPABILITY(x) \
+  WC_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define WC_RETURN_CAPABILITY(x) WC_THREAD_ANNOTATION_(lock_returned(x))
+
+#define WC_NO_THREAD_SAFETY_ANALYSIS \
+  WC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // WICLEAN_COMMON_ANNOTATIONS_H_

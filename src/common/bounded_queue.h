@@ -1,11 +1,12 @@
 #ifndef WICLEAN_COMMON_BOUNDED_QUEUE_H_
 #define WICLEAN_COMMON_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace wiclean {
 
@@ -23,7 +24,9 @@ namespace wiclean {
 ///               signal — a failed consumer cancels so a producer blocked on
 ///               a full queue cannot hang.
 ///
-/// All methods are safe to call concurrently from any thread.
+/// All methods are safe to call concurrently from any thread; the shared
+/// state is WC_GUARDED_BY(mu_), so the -Werror=thread-safety build proves
+/// that every access is locked.
 template <typename T>
 class BoundedQueue {
  public:
@@ -36,61 +39,63 @@ class BoundedQueue {
 
   /// Blocks while the queue is full. Returns true once `item` is enqueued;
   /// false if the queue was closed or cancelled (item dropped).
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return closed_ || cancelled_ || items_.size() < capacity_;
-    });
-    if (closed_ || cancelled_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  bool Push(T item) WC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!(closed_ || cancelled_ || items_.size() < capacity_)) {
+        not_full_.Wait(&mu_);
+      }
+      if (closed_ || cancelled_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while the queue is empty and still open. Returns true with *out
   /// filled, or false when the queue is cancelled or closed-and-drained.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] {
-      return cancelled_ || closed_ || !items_.empty();
-    });
-    if (cancelled_ || items_.empty()) return false;  // closed and drained
-    *out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  bool Pop(T* out) WC_EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!(cancelled_ || closed_ || !items_.empty())) {
+        not_empty_.Wait(&mu_);
+      }
+      if (cancelled_ || items_.empty()) return false;  // closed and drained
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return true;
   }
 
   /// Ends the stream: queued items remain poppable, new pushes fail.
-  void Close() {
+  void Close() WC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   /// Aborts the stream: queued items are discarded, everyone wakes up.
-  void Cancel() {
+  void Cancel() WC_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       cancelled_ = true;
       items_.clear();
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  bool cancelled() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool cancelled() const WC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return cancelled_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const WC_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -98,12 +103,12 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  bool cancelled_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ WC_GUARDED_BY(mu_);
+  bool closed_ WC_GUARDED_BY(mu_) = false;
+  bool cancelled_ WC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace wiclean

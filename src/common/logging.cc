@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace wiclean {
 namespace {
@@ -26,8 +27,9 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& OutputMutex() {
-  static std::mutex* mu = new std::mutex;
+Mutex& OutputMutex() {
+  // Intentionally leaked so logging from static destructors stays safe.
+  static Mutex* mu = new Mutex;  // lint:allow(raw-new)
   return *mu;
 }
 
@@ -49,7 +51,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(OutputMutex());
+    MutexLock lock(&OutputMutex());
     std::fputs(stream_.str().c_str(), stderr);
     std::fputc('\n', stderr);
     std::fflush(stderr);

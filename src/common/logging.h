@@ -4,6 +4,9 @@
 #include <sstream>
 #include <string>
 
+#include "common/result.h"
+#include "common/status.h"
+
 namespace wiclean {
 
 /// Severity levels for the minimal logging facility. kFatal aborts the
@@ -62,6 +65,28 @@ class NullStream {
                    .stream()                                           \
                << "Check failed: " #cond " "
 
+/// Aborts with the status message unless the Status (or Result) expression is
+/// OK. This is the sanctioned way to *intentionally* consume a [[nodiscard]]
+/// Status whose failure would be a programming error — initialization that
+/// cannot fail by construction, test fixtures, CLI plumbing where the input
+/// was already validated:
+///
+///   WICLEAN_CHECK_OK(pattern.SetSourceVar(u));
+///
+/// Unlike `(void)expr`, a failure is loud: the full status is logged at
+/// Fatal severity (which aborts) with the failing expression and location.
+#define WICLEAN_CHECK_OK(expr)                                           \
+  do {                                                                   \
+    const ::wiclean::Status _wc_check_status =                           \
+        ::wiclean::internal_logging::AsStatus((expr));                   \
+    if (!_wc_check_status.ok()) {                                        \
+      ::wiclean::internal_logging::LogMessage(                           \
+          ::wiclean::LogLevel::kFatal, __FILE__, __LINE__)               \
+              .stream()                                                  \
+          << "Check failed: " #expr " is " << _wc_check_status.ToString(); \
+    }                                                                    \
+  } while (false)
+
 namespace wiclean {
 namespace internal_logging {
 
@@ -69,6 +94,13 @@ namespace internal_logging {
 struct LogVoidify {
   void operator&(std::ostream&) {}
 };
+
+/// Overloads letting WICLEAN_CHECK_OK accept Status or any Result<T>.
+inline const Status& AsStatus(const Status& status) { return status; }
+template <typename T>
+const Status& AsStatus(const Result<T>& result) {
+  return result.status();
+}
 
 }  // namespace internal_logging
 }  // namespace wiclean

@@ -16,8 +16,11 @@ namespace wiclean {
 ///   Result<Table> r = LoadTable(path);
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).value();
+///
+/// [[nodiscard]] like Status: a discarded Result is a silently dropped error
+/// and fails the -Werror=unused-result build (WICLEAN_WERROR_ANALYSIS).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: `return some_t;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -33,10 +36,10 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The status: OK() if a value is held.
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Accessors require ok(); checked by assert in debug builds.
   const T& value() const& {

@@ -31,7 +31,14 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// The OK status carries no allocation; error statuses carry a code and a
 /// message describing the failure in context.
-class Status {
+///
+/// The class is [[nodiscard]]: every expression producing a Status must be
+/// consumed — checked, returned, or explicitly swallowed. With
+/// -Werror=unused-result (the WICLEAN_WERROR_ANALYSIS CMake option; on in
+/// CI), silently dropping an error is a compile failure. Use
+/// WICLEAN_RETURN_IF_ERROR to propagate and WICLEAN_CHECK_OK (logging.h)
+/// where a failure is a programming error that should abort.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -43,37 +50,37 @@ class Status {
 
   /// Factory helpers, one per error class.
   static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "Ok" or "<CodeName>: <message>"; for logs and test failure output.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;

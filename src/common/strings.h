@@ -27,7 +27,7 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 
 /// Parses a base-10 signed integer. The whole string must be consumed;
 /// leading/trailing junk (including whitespace) is an error.
-Result<int64_t> ParseInt64(std::string_view text);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view text);
 
 /// Replaces every occurrence of `from` (non-empty) with `to`.
 std::string ReplaceAll(std::string_view text, std::string_view from,

@@ -1,13 +1,14 @@
 #ifndef WICLEAN_COMMON_THREAD_POOL_H_
 #define WICLEAN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace wiclean {
 
@@ -25,6 +26,11 @@ namespace wiclean {
 /// may be called concurrently from multiple threads; Wait returns at an
 /// instant when the queue was observed empty with no task running, so a Wait
 /// racing a Submit may or may not cover the racing task.
+///
+/// Thread-safety contract is compiler-checked: all mutable state is
+/// WC_GUARDED_BY(mu_), so an unsynchronized access anywhere in the
+/// implementation fails the -Werror=thread-safety build (see
+/// tests/negcompile/).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
@@ -37,27 +43,37 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Never blocks (unbounded queue).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) WC_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is executing.
-  void Wait();
+  void Wait() WC_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// fn must be safe to invoke concurrently for distinct indices.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      WC_EXCLUDES(mu_);
+
+#ifdef WICLEAN_NEGATIVE_COMPILE_UNLOCKED
+  /// Negative-compilation fixture (tests/negcompile/): reads queue_ without
+  /// holding mu_, which -Werror=thread-safety must reject. Never defined in
+  /// real builds — only the negcompile test defines the macro.
+  size_t UnsynchronizedQueueSizeForNegativeCompileTest() const {
+    return queue_.size();
+  }
+#endif
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() WC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ WC_GUARDED_BY(mu_);
+  size_t active_ WC_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ WC_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 }  // namespace wiclean

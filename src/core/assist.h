@@ -64,7 +64,7 @@ class EditAssistant {
 
   /// Suggests completions for partial edits within `window` that involve
   /// `entity` (as any pattern variable). Ordered by pattern frequency.
-  Result<std::vector<EditSuggestion>> SuggestFor(
+  [[nodiscard]] Result<std::vector<EditSuggestion>> SuggestFor(
       EntityId entity, const TimeWindow& window) const;
 
  private:

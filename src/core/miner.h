@@ -179,7 +179,7 @@ class PatternMiner {
   /// paper's "caching of the computed frequencies/realization tables, to be
   /// reused if the same patterns are later re-examined with different
   /// thresholds". Stats in the result cover only the incremental work.
-  Result<MineWindowResult> MineWindow(
+  [[nodiscard]] Result<MineWindowResult> MineWindow(
       TypeId seed_type, const TimeWindow& window,
       std::shared_ptr<MiningContext> reuse = nullptr) const;
 
@@ -196,14 +196,14 @@ class PatternMiner {
   /// returning one span per realization (rows are not deduplicated; count
   /// distinct seeds for support). The spans let the window search localize a
   /// pattern's true window with arithmetic instead of repeated re-mining.
-  Result<std::vector<RealizationSpan>> EvaluateRealizations(
+  [[nodiscard]] Result<std::vector<RealizationSpan>> EvaluateRealizations(
       TypeId seed_type, const Pattern& pattern,
       const TimeWindow& window) const;
 
   /// Frequency (Definition 3.2) of one fixed pattern in one window; a
   /// convenience over EvaluateRealizations. Cheaper than a full MineWindow
   /// when only one pattern matters.
-  Result<double> EvaluateFrequency(TypeId seed_type, const Pattern& pattern,
+  [[nodiscard]] Result<double> EvaluateFrequency(TypeId seed_type, const Pattern& pattern,
                                    const TimeWindow& window) const;
 
   /// One §7 value-specific specialization of a frequent pattern: `var` is
@@ -222,7 +222,7 @@ class PatternMiner {
   /// non-source variable of `base` (a pattern mined in `context`), finds the
   /// concrete entities accounting for at least `min_value_share` of the
   /// base's realizations, and emits the correspondingly bound patterns.
-  Result<std::vector<ValueSpecificPattern>> MineValueSpecific(
+  [[nodiscard]] Result<std::vector<ValueSpecificPattern>> MineValueSpecific(
       const MiningContext& context, TypeId seed_type, const MinedPattern& base,
       double min_value_share) const;
 
@@ -230,7 +230,7 @@ class PatternMiner {
   /// refinements of `base` (which must be a pattern found by the MineWindow
   /// call that produced `context`). Expansion continues from base's cached
   /// realization with admission threshold rel_threshold * frequency(base).
-  Result<std::vector<RelativePattern>> MineRelative(
+  [[nodiscard]] Result<std::vector<RelativePattern>> MineRelative(
       MiningContext* context, TypeId seed_type, const MinedPattern& base,
       double rel_threshold) const;
 

@@ -68,7 +68,7 @@ class PartialUpdateDetector {
 
   /// Finds partial (and counts full) realizations of `pattern` within
   /// `window`. The pattern must be connected and have at least one action.
-  Result<PartialUpdateReport> Detect(const Pattern& pattern,
+  [[nodiscard]] Result<PartialUpdateReport> Detect(const Pattern& pattern,
                                      const TimeWindow& window) const;
 
  private:

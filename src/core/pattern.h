@@ -44,15 +44,15 @@ class Pattern {
   int AddVar(TypeId type);
 
   /// Adds an abstract action between existing variables.
-  Status AddAction(EditOp op, int source_var, const std::string& relation,
+  [[nodiscard]] Status AddAction(EditOp op, int source_var, const std::string& relation,
                    int target_var);
 
   /// Designates the distinguished source variable (w.r.t. the seed type).
-  Status SetSourceVar(int var);
+  [[nodiscard]] Status SetSourceVar(int var);
 
   /// Value-binds a variable to a concrete entity (§7 value-specific
   /// patterns). Pass kInvalidEntityId to clear.
-  Status BindVar(int var, EntityId value);
+  [[nodiscard]] Status BindVar(int var, EntityId value);
 
   /// The entity a variable is bound to, or kInvalidEntityId if free.
   EntityId var_binding(int var) const { return var_bindings_[var]; }
@@ -122,14 +122,14 @@ std::vector<Pattern> MostSpecificPatterns(const std::vector<Pattern>& patterns,
 /// Builds the sub-pattern containing exactly the given actions (indices into
 /// pattern.actions()), with variables renumbered to the referenced subset.
 /// Fails if the source variable is not referenced by any kept action.
-Result<Pattern> SubPattern(const Pattern& pattern,
+[[nodiscard]] Result<Pattern> SubPattern(const Pattern& pattern,
                            const std::vector<size_t>& action_indices);
 
 /// Orders the pattern's action indices so that each action's source variable
 /// is bound by an earlier action or is the pattern source — the traversal
 /// order used by realization chaining (Algorithm 3 and frequency
 /// evaluation). Fails for patterns that are not connected from their source.
-Result<std::vector<size_t>> PatternTraversalOrder(const Pattern& pattern);
+[[nodiscard]] Result<std::vector<size_t>> PatternTraversalOrder(const Pattern& pattern);
 
 }  // namespace wiclean
 

@@ -129,12 +129,12 @@ class WindowSearch {
 
   /// Runs the search for seed type `seed_type` over the timeline
   /// [timeline_begin, timeline_end).
-  Result<WindowSearchResult> Run(TypeId seed_type, Timestamp timeline_begin,
+  [[nodiscard]] Result<WindowSearchResult> Run(TypeId seed_type, Timestamp timeline_begin,
                                  Timestamp timeline_end) const;
 
   /// Convenience for users unfamiliar with the type hierarchy (Algorithm 2,
   /// lines 1-2): derives the seed type from a seed entity.
-  Result<WindowSearchResult> RunForSeedEntity(EntityId seed_entity,
+  [[nodiscard]] Result<WindowSearchResult> RunForSeedEntity(EntityId seed_entity,
                                               Timestamp timeline_begin,
                                               Timestamp timeline_end) const;
 

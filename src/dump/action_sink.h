@@ -33,7 +33,7 @@ class ActionSink {
   virtual ~ActionSink() = default;
 
   /// Consumes one page's batch. A non-OK status aborts the pipeline.
-  virtual Status Append(PageActions&& batch) = 0;
+  [[nodiscard]] virtual Status Append(PageActions&& batch) = 0;
 };
 
 /// The standard sink: appends every action to a RevisionStore.
@@ -42,7 +42,7 @@ class RevisionStoreSink : public ActionSink {
   /// The store must outlive this object.
   explicit RevisionStoreSink(RevisionStore* store) : store_(store) {}
 
-  Status Append(PageActions&& batch) override {
+  [[nodiscard]] Status Append(PageActions&& batch) override {
     for (Action& action : batch.actions) store_->Add(std::move(action));
     return Status::OK();
   }

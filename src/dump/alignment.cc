@@ -66,7 +66,7 @@ Result<std::unique_ptr<TypeTaxonomy>> LoadTaxonomy(std::istream* in) {
   return taxonomy;
 }
 
-void WriteTaxonomy(const TypeTaxonomy& taxonomy, std::ostream* out) {
+Status WriteTaxonomy(const TypeTaxonomy& taxonomy, std::ostream* out) {
   (*out) << "# type\tparent\n";
   for (TypeId t = 0; static_cast<size_t>(t) < taxonomy.num_types(); ++t) {
     (*out) << taxonomy.Name(t);
@@ -75,6 +75,11 @@ void WriteTaxonomy(const TypeTaxonomy& taxonomy, std::ostream* out) {
     }
     (*out) << '\n';
   }
+  out->flush();
+  if (!out->good()) {
+    return Status::Internal("taxonomy write failed (stream error)");
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<EntityRegistry>> LoadAlignment(
@@ -108,12 +113,17 @@ Result<std::unique_ptr<EntityRegistry>> LoadAlignment(
   return registry;
 }
 
-void WriteAlignment(const EntityRegistry& registry, std::ostream* out) {
+Status WriteAlignment(const EntityRegistry& registry, std::ostream* out) {
   (*out) << "# title\ttype\n";
   for (size_t i = 0; i < registry.size(); ++i) {
     const Entity& e = registry.Get(static_cast<EntityId>(i));
     (*out) << e.name << '\t' << registry.taxonomy().Name(e.type) << '\n';
   }
+  out->flush();
+  if (!out->good()) {
+    return Status::Internal("alignment write failed (stream error)");
+  }
+  return Status::OK();
 }
 
 }  // namespace wiclean

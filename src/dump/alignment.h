@@ -27,18 +27,23 @@ namespace wiclean {
 ///   Neymar\tsoccer_player
 
 /// Parses a taxonomy file. Errors carry the line number.
-Result<std::unique_ptr<TypeTaxonomy>> LoadTaxonomy(std::istream* in);
+[[nodiscard]] Result<std::unique_ptr<TypeTaxonomy>> LoadTaxonomy(std::istream* in);
 
 /// Writes a taxonomy in the format LoadTaxonomy reads (parents first).
-void WriteTaxonomy(const TypeTaxonomy& taxonomy, std::ostream* out);
+/// Flushes and reports stream failure (disk full, closed pipe) as Internal —
+/// a write whose Status is dropped cannot silently lose the file.
+[[nodiscard]] Status WriteTaxonomy(const TypeTaxonomy& taxonomy,
+                                   std::ostream* out);
 
 /// Parses an alignment file into a registry bound to `taxonomy` (which must
 /// outlive the registry). Unknown types and duplicate titles are errors.
-Result<std::unique_ptr<EntityRegistry>> LoadAlignment(
+[[nodiscard]] Result<std::unique_ptr<EntityRegistry>> LoadAlignment(
     std::istream* in, const TypeTaxonomy* taxonomy);
 
 /// Writes the registry's alignment in the format LoadAlignment reads.
-void WriteAlignment(const EntityRegistry& registry, std::ostream* out);
+/// Flushes and reports stream failure as Internal, like WriteTaxonomy.
+[[nodiscard]] Status WriteAlignment(const EntityRegistry& registry,
+                                    std::ostream* out);
 
 }  // namespace wiclean
 

@@ -55,7 +55,7 @@ class DumpWriter {
 
   void Begin();
   void WritePage(const DumpPage& page);
-  Status End();  // flushes; reports stream failure as Internal
+  [[nodiscard]] Status End();  // flushes; reports stream failure as Internal
 
  private:
   std::ostream* out_;
@@ -84,7 +84,7 @@ class DumpPageStream {
   /// clean end of dump (</mediawiki> seen and nothing but whitespace after),
   /// or Corruption on malformed input. After false or an error, further
   /// calls keep returning the same outcome.
-  Result<bool> Next(DumpPage* page);
+  [[nodiscard]] Result<bool> Next(DumpPage* page);
 
  private:
   struct Impl;
@@ -99,7 +99,7 @@ class DumpReader {
 
   /// Reads the whole stream; invokes `on_page` for every page in order. Stops
   /// at the first parse error or the first non-OK callback status.
-  static Status ReadAll(std::istream* in, const PageCallback& on_page);
+  [[nodiscard]] static Status ReadAll(std::istream* in, const PageCallback& on_page);
 };
 
 }  // namespace wiclean

@@ -27,13 +27,14 @@ Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
   batch.sequence = sequence;
 
   Result<EntityId> subject = registry.FindByName(page.title);
+  if (!subject.ok() && options.strict_pages) {
+    return Status::NotFound("dump page '" + page.title +
+                            "' is not a registered entity");
+  }
   if (!subject.ok()) {
-    if (options.strict_pages) {
-      return Status::NotFound("dump page '" + page.title +
-                              "' is not a registered entity");
-    }
     return batch;  // known_page stays false; the page is skipped
   }
+  const EntityId subject_id = subject.value();
   batch.known_page = true;
 
   std::string previous_text;  // first revision diffs against the empty page
@@ -47,11 +48,12 @@ Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
         ++batch.unresolved_links;
         return;
       }
+      const EntityId object_id = object.value();
       Action action;
       action.op = op;
-      action.subject = subject.value();
+      action.subject = subject_id;
       action.relation = link.relation;
-      action.object = object.value();
+      action.object = object_id;
       action.time = rev.timestamp;
       batch.actions.push_back(std::move(action));
     };

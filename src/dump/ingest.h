@@ -64,7 +64,7 @@ struct IngestOptions {
 /// Errors: Corruption from the wikitext parser, or NotFound for an
 /// unregistered page title when options.strict_pages is set (otherwise the
 /// batch comes back with known_page = false and no actions).
-Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
+[[nodiscard]] Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
                                      const EntityRegistry& registry,
                                      const IngestOptions& options);
 
@@ -77,14 +77,14 @@ Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
 /// must be reconstructed by parsing and diffing. Thin wrapper over
 /// RunIngestPipeline (see dump/pipeline.h) with an XmlPageSource and a
 /// RevisionStoreSink; options.num_threads parallelizes the parse/diff stage.
-Result<IngestStats> IngestDump(std::istream* in,
+[[nodiscard]] Result<IngestStats> IngestDump(std::istream* in,
                                const EntityRegistry& registry,
                                RevisionStore* store,
                                const IngestOptions& options = {});
 
 /// Ingests a single already-parsed page (used directly by tests and simple
 /// consumers). Appends recovered actions to `store` and updates `stats`.
-Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
+[[nodiscard]] Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
                   RevisionStore* store, const IngestOptions& options,
                   IngestStats* stats);
 

@@ -21,7 +21,7 @@ class PageSource {
   /// Fills *page with the next page and returns true; returns false at end
   /// of stream; returns an error status on malformed input. After false or
   /// an error, further calls repeat the same outcome.
-  virtual Result<bool> Next(DumpPage* page) = 0;
+  [[nodiscard]] virtual Result<bool> Next(DumpPage* page) = 0;
 };
 
 /// Streams pages out of a MediaWiki-style XML dump (the production path —
@@ -44,7 +44,7 @@ class VectorPageSource : public PageSource {
   explicit VectorPageSource(std::vector<DumpPage> pages)
       : pages_(std::move(pages)) {}
 
-  Result<bool> Next(DumpPage* page) override {
+  [[nodiscard]] Result<bool> Next(DumpPage* page) override {
     if (next_ >= pages_.size()) return false;
     *page = std::move(pages_[next_++]);
     return true;

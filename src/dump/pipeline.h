@@ -32,7 +32,7 @@ namespace wiclean {
 /// options.num_threads <= 1 runs all three stages synchronously on the
 /// calling thread (no queue, no pool): exactly the historical IngestDump
 /// behavior.
-Result<IngestStats> RunIngestPipeline(PageSource* source,
+[[nodiscard]] Result<IngestStats> RunIngestPipeline(PageSource* source,
                                       const EntityRegistry& registry,
                                       ActionSink* sink,
                                       const IngestOptions& options = {});

@@ -91,7 +91,7 @@ struct ErrorEvaluationOptions {
 /// Runs Algorithm 3 over every discovered (pattern, window) of one domain,
 /// annotates the resulting signals against ground truth, checks the
 /// following year's revision logs for corrections, and aggregates.
-Result<ErrorDetectionReport> EvaluateErrorDetection(
+[[nodiscard]] Result<ErrorDetectionReport> EvaluateErrorDetection(
     const SynthWorld& world, const std::vector<DiscoveredPattern>& mined,
     const ErrorEvaluationOptions& options = {});
 

@@ -26,7 +26,7 @@ class EntityRegistry {
 
   /// Adds an entity with a unique name and a valid most-specific type;
   /// returns its id.
-  Result<EntityId> Register(std::string name, TypeId type);
+  [[nodiscard]] Result<EntityId> Register(std::string name, TypeId type);
 
   size_t size() const { return entities_.size(); }
   bool Contains(EntityId id) const {
@@ -36,7 +36,7 @@ class EntityRegistry {
   const Entity& Get(EntityId id) const { return entities_[id]; }
 
   /// Entity id by article title, or NotFound.
-  Result<EntityId> FindByName(std::string_view name) const;
+  [[nodiscard]] Result<EntityId> FindByName(std::string_view name) const;
 
   /// Most-specific type of `id` (kInvalidTypeId if out of range).
   TypeId TypeOf(EntityId id) const {

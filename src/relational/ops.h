@@ -50,19 +50,19 @@ struct JoinSpec {
 ///
 /// Requires at least one equality pair (use NestedLoopJoin for pure theta
 /// joins) and that all equality columns have matching types.
-Result<Table> HashJoin(const Table& left, const Table& right,
+[[nodiscard]] Result<Table> HashJoin(const Table& left, const Table& right,
                        const JoinSpec& spec);
 
 /// Inner join by exhaustive pairwise comparison — the PM−join baseline from
 /// §6 ("conventional main memory nested loop"). Accepts any JoinSpec,
 /// including one with no equality pairs.
-Result<Table> NestedLoopJoin(const Table& left, const Table& right,
+[[nodiscard]] Result<Table> NestedLoopJoin(const Table& left, const Table& right,
                              const JoinSpec& spec);
 
 /// Full outer join (Algorithm 3): every matching pair is emitted as in the
 /// inner join; left rows with no match are emitted once padded with nulls on
 /// the right, and unmatched right rows once padded with nulls on the left.
-Result<Table> FullOuterJoin(const Table& left, const Table& right,
+[[nodiscard]] Result<Table> FullOuterJoin(const Table& left, const Table& right,
                             const JoinSpec& spec);
 
 /// Keeps the rows for which `keep(row)` is true. The predicate receives row
@@ -76,22 +76,22 @@ Table FilterRowsWithNull(const Table& input);
 
 /// Projects the given columns (by index, in order), renaming them to `names`
 /// (empty = keep source names).
-Result<Table> Project(const Table& input, const std::vector<size_t>& cols,
+[[nodiscard]] Result<Table> Project(const Table& input, const std::vector<size_t>& cols,
                       const std::vector<std::string>& names = {});
 
 /// Projects and deduplicates full rows; nulls compare equal to nulls for
 /// dedup purposes. Keeps first occurrence order.
-Result<Table> DistinctProject(const Table& input,
+[[nodiscard]] Result<Table> DistinctProject(const Table& input,
                               const std::vector<size_t>& cols,
                               const std::vector<std::string>& names = {});
 
 /// Number of distinct non-null values in column `col` — the SQL
 /// COUNT(DISTINCT source_var) used to compute pattern frequency (§4.2).
-Result<size_t> CountDistinct(const Table& input, size_t col);
+[[nodiscard]] Result<size_t> CountDistinct(const Table& input, size_t col);
 
 /// Appends all rows of `src` to `dst`; schemas must have identical field
 /// types positionally (names may differ).
-Status AppendAll(Table* dst, const Table& src);
+[[nodiscard]] Status AppendAll(Table* dst, const Table& src);
 
 }  // namespace wiclean::relational
 

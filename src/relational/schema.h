@@ -33,7 +33,7 @@ class Schema {
   const std::vector<Field>& fields() const { return fields_; }
 
   /// Index of the field named `name`, or an error if absent.
-  Result<size_t> FieldIndex(std::string_view name) const {
+  [[nodiscard]] Result<size_t> FieldIndex(std::string_view name) const {
     for (size_t i = 0; i < fields_.size(); ++i) {
       if (fields_[i].name == name) return i;
     }

@@ -67,10 +67,10 @@ void WritePatternJson(const Pattern& pattern, const TypeTaxonomy& taxonomy,
   w.EndObject();
 }
 
-void WriteSearchReportJson(const WindowSearchResult& result,
-                           const TypeTaxonomy& taxonomy,
-                           const EntityRegistry* registry,
-                           std::ostream* out) {
+Status WriteSearchReportJson(const WindowSearchResult& result,
+                             const TypeTaxonomy& taxonomy,
+                             const EntityRegistry* registry,
+                             std::ostream* out) {
   JsonWriter w(out, /*pretty=*/true);
   w.BeginObject();
 
@@ -141,12 +141,17 @@ void WriteSearchReportJson(const WindowSearchResult& result,
 
   w.EndObject();
   (*out) << '\n';
+  out->flush();
+  if (!out->good()) {
+    return Status::Internal("search report write failed (stream error)");
+  }
+  return Status::OK();
 }
 
-void WriteDetectionReportJson(const PartialUpdateReport& report,
-                              const TypeTaxonomy& taxonomy,
-                              const EntityRegistry& registry,
-                              std::ostream* out) {
+Status WriteDetectionReportJson(const PartialUpdateReport& report,
+                                const TypeTaxonomy& taxonomy,
+                                const EntityRegistry& registry,
+                                std::ostream* out) {
   JsonWriter w(out, /*pretty=*/true);
   w.BeginObject();
   w.Key("pattern");
@@ -212,6 +217,11 @@ void WriteDetectionReportJson(const PartialUpdateReport& report,
   w.EndArray();
   w.EndObject();
   (*out) << '\n';
+  out->flush();
+  if (!out->good()) {
+    return Status::Internal("detection report write failed (stream error)");
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -228,7 +238,7 @@ std::string CsvQuote(const std::string& field) {
 
 }  // namespace
 
-void WriteSignalsCsv(
+Status WriteSignalsCsv(
     const std::vector<std::pair<const PartialUpdateReport*, std::string>>&
         reports,
     const EntityRegistry& registry, std::ostream* out) {
@@ -256,6 +266,11 @@ void WriteSignalsCsv(
              << CsvQuote(bindings) << ',' << CsvQuote(missing) << '\n';
     }
   }
+  out->flush();
+  if (!out->good()) {
+    return Status::Internal("signals CSV write failed (stream error)");
+  }
+  return Status::OK();
 }
 
 std::string RenderSearchSummary(const WindowSearchResult& result,

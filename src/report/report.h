@@ -24,22 +24,27 @@ void WritePatternJson(const Pattern& pattern, const TypeTaxonomy& taxonomy,
 
 /// JSON for a whole window-search result: refinement rounds, discovered
 /// patterns with their windows/frequencies, and relative patterns.
-void WriteSearchReportJson(const WindowSearchResult& result,
-                           const TypeTaxonomy& taxonomy,
-                           const EntityRegistry* registry, std::ostream* out);
+/// Flushes and reports stream failure (disk full, closed pipe) as Internal,
+/// so `wiclean mine --json` cannot report success for a truncated file.
+[[nodiscard]] Status WriteSearchReportJson(const WindowSearchResult& result,
+                                           const TypeTaxonomy& taxonomy,
+                                           const EntityRegistry* registry,
+                                           std::ostream* out);
 
 /// JSON for one detection report: the pattern, the window, complete-count,
 /// example completions, and each partial realization with its bound entities
-/// and missing edits.
-void WriteDetectionReportJson(const PartialUpdateReport& report,
-                              const TypeTaxonomy& taxonomy,
-                              const EntityRegistry& registry,
-                              std::ostream* out);
+/// and missing edits. Flushes and reports stream failure as Internal.
+[[nodiscard]] Status WriteDetectionReportJson(const PartialUpdateReport& report,
+                                              const TypeTaxonomy& taxonomy,
+                                              const EntityRegistry& registry,
+                                              std::ostream* out);
 
 /// CSV of error signals, one row per (pattern, partial realization):
 ///   pattern,window_begin_day,window_end_day,bindings,missing_edits
 /// Strings are quoted; embedded quotes doubled (RFC 4180).
-void WriteSignalsCsv(
+/// Flushes and reports stream failure as Internal, like
+/// WriteSearchReportJson.
+[[nodiscard]] Status WriteSignalsCsv(
     const std::vector<std::pair<const PartialUpdateReport*, std::string>>&
         reports,
     const EntityRegistry& registry, std::ostream* out);

@@ -16,7 +16,9 @@ void RevisionStore::Add(Action action) {
 }
 
 const std::vector<Action>& RevisionStore::LogOf(EntityId entity) const {
-  static const std::vector<Action>* empty = new std::vector<Action>();
+  // Intentional static-lifetime leak: avoids a destructor at exit.
+  static const std::vector<Action>* empty =
+      new std::vector<Action>();  // lint:allow(raw-new)
   auto it = logs_.find(entity);
   return it == logs_.end() ? *empty : it->second;
 }

@@ -12,8 +12,17 @@ std::vector<TimeWindow> SplitTimeline(Timestamp timeline_begin,
                                       Timestamp width) {
   std::vector<TimeWindow> windows;
   if (width <= 0 || timeline_end <= timeline_begin) return windows;
-  for (Timestamp b = timeline_begin; b < timeline_end; b += width) {
-    windows.push_back(TimeWindow{b, std::min(b + width, timeline_end)});
+  for (Timestamp b = timeline_begin; b < timeline_end;) {
+    // `b + width` would overflow for timelines reaching toward INT64_MAX
+    // (timestamps come from dump input), so compare the remaining span
+    // instead: b < timeline_end makes the uint64 difference exact.
+    const bool last =
+        static_cast<uint64_t>(timeline_end) - static_cast<uint64_t>(b) <=
+        static_cast<uint64_t>(width);
+    const Timestamp e = last ? timeline_end : b + width;
+    windows.push_back(TimeWindow{b, e});
+    if (last) break;
+    b = e;
   }
   return windows;
 }

@@ -48,7 +48,7 @@ struct CatalogTaxonomy {
 
 /// Builds the shared synthetic taxonomy. Never fails (the construction is
 /// static); the Result carries wiring errors in case of future edits.
-Result<CatalogTaxonomy> BuildCatalogTaxonomy();
+[[nodiscard]] Result<CatalogTaxonomy> BuildCatalogTaxonomy();
 
 }  // namespace wiclean
 

@@ -19,20 +19,20 @@ namespace wiclean {
 ///
 /// Only actions with time in [time_begin, time_end) are rendered; pass the
 /// world's full span to render everything.
-Result<DumpPage> RenderEntityPage(const SynthWorld& world, EntityId entity,
+[[nodiscard]] Result<DumpPage> RenderEntityPage(const SynthWorld& world, EntityId entity,
                                   Timestamp time_begin, Timestamp time_end);
 
 /// Renders the whole world (every entity with a log or initial links) as an
 /// in-memory page list, in the same deterministic entity-id order WriteDump
 /// streams. Feed it to a VectorPageSource (dump/page_source.h) to run the
 /// ingestion pipeline without an XML detour — the synth/test round-trip path.
-Result<std::vector<DumpPage>> RenderDumpPages(const SynthWorld& world,
+[[nodiscard]] Result<std::vector<DumpPage>> RenderDumpPages(const SynthWorld& world,
                                               Timestamp time_begin,
                                               Timestamp time_end);
 
 /// Streams the whole world as one dump document (RenderDumpPages serialized
 /// through DumpWriter).
-Status WriteDump(const SynthWorld& world, Timestamp time_begin,
+[[nodiscard]] Status WriteDump(const SynthWorld& world, Timestamp time_begin,
                  Timestamp time_end, std::ostream* out);
 
 }  // namespace wiclean

@@ -116,7 +116,7 @@ class SynthWorld {
 };
 
 /// Generates a synthetic world. Deterministic in options.rng_seed.
-Result<SynthWorld> Synthesize(const SynthOptions& options);
+[[nodiscard]] Result<SynthWorld> Synthesize(const SynthOptions& options);
 
 }  // namespace wiclean
 

@@ -35,10 +35,10 @@ class TypeTaxonomy {
 
   /// Creates the root type (e.g. "thing"). Must be called exactly once,
   /// before any AddType.
-  Result<TypeId> AddRoot(std::string name);
+  [[nodiscard]] Result<TypeId> AddRoot(std::string name);
 
   /// Adds `name` as a direct child of `parent`. Names must be unique.
-  Result<TypeId> AddType(std::string name, TypeId parent);
+  [[nodiscard]] Result<TypeId> AddType(std::string name, TypeId parent);
 
   size_t num_types() const { return names_.size(); }
   TypeId root() const { return names_.empty() ? kInvalidTypeId : 0; }
@@ -50,7 +50,7 @@ class TypeTaxonomy {
   const std::string& Name(TypeId t) const { return names_[t]; }
 
   /// Id of the type named `name`, or NotFound.
-  Result<TypeId> Find(std::string_view name) const;
+  [[nodiscard]] Result<TypeId> Find(std::string_view name) const;
 
   /// Parent of `t`; kInvalidTypeId for the root.
   TypeId Parent(TypeId t) const { return parents_[t]; }

@@ -60,7 +60,7 @@ std::string RenderPage(const std::string& title,
 /// empty link set. Malformed markup — an unterminated "{{Infobox" block or an
 /// unterminated "[[" link inside it — returns Corruption, mirroring the
 /// realities of hand-parsing dump text.
-Result<ParsedPage> ParsePage(const std::string& wikitext);
+[[nodiscard]] Result<ParsedPage> ParsePage(const std::string& wikitext);
 
 /// Computes the link edits that turn revision `before` into revision `after`:
 /// links present only in `after` are additions, links present only in
@@ -70,7 +70,7 @@ struct LinkDelta {
   std::vector<InfoboxLink> removed;
   std::vector<InfoboxLink> added;
 };
-Result<LinkDelta> DiffRevisions(const std::string& before,
+[[nodiscard]] Result<LinkDelta> DiffRevisions(const std::string& before,
                                 const std::string& after);
 
 }  // namespace wiclean

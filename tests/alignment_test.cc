@@ -12,7 +12,7 @@ TEST(AlignmentTest, TaxonomyRoundTrip) {
   Result<CatalogTaxonomy> catalog = BuildCatalogTaxonomy();
   ASSERT_TRUE(catalog.ok());
   std::ostringstream out;
-  WriteTaxonomy(*catalog->taxonomy, &out);
+  ASSERT_TRUE(WriteTaxonomy(*catalog->taxonomy, &out).ok());
 
   std::istringstream in(out.str());
   Result<std::unique_ptr<TypeTaxonomy>> loaded = LoadTaxonomy(&in);
@@ -24,6 +24,27 @@ TEST(AlignmentTest, TaxonomyRoundTrip) {
   Result<TypeId> person = tax.Find("person");
   ASSERT_TRUE(person.ok());
   EXPECT_TRUE(tax.IsA(*player, *person));
+}
+
+// Regression (PR 2): the writers used to return void, so `wiclean synth`
+// reported success even when the output stream had failed (disk full, closed
+// pipe). A failed stream must now surface as a non-OK Status.
+TEST(AlignmentTest, WritersReportStreamFailure) {
+  Result<CatalogTaxonomy> catalog = BuildCatalogTaxonomy();
+  ASSERT_TRUE(catalog.ok());
+
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);  // simulate a failed sink
+  Status taxonomy_status = WriteTaxonomy(*catalog->taxonomy, &out);
+  EXPECT_FALSE(taxonomy_status.ok());
+  EXPECT_EQ(taxonomy_status.code(), StatusCode::kInternal);
+
+  EntityRegistry registry(catalog->taxonomy.get());
+  std::ostringstream out2;
+  out2.setstate(std::ios::badbit);
+  Status alignment_status = WriteAlignment(registry, &out2);
+  EXPECT_FALSE(alignment_status.ok());
+  EXPECT_EQ(alignment_status.code(), StatusCode::kInternal);
 }
 
 TEST(AlignmentTest, TaxonomyParsing) {
@@ -64,7 +85,7 @@ TEST(AlignmentTest, AlignmentRoundTrip) {
   ASSERT_TRUE(registry.Register("PSG", catalog->types.soccer_club).ok());
 
   std::ostringstream out;
-  WriteAlignment(registry, &out);
+  ASSERT_TRUE(WriteAlignment(registry, &out).ok());
 
   std::istringstream in(out.str());
   Result<std::unique_ptr<EntityRegistry>> loaded =

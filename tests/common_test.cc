@@ -218,7 +218,7 @@ TEST(TimerTest, MeasuresElapsedTime) {
   Timer t;
   // Busy-wait a tiny, deterministic amount of work.
   volatile uint64_t sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<uint64_t>(i);
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<uint64_t>(i);
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), 0);
   double first = t.ElapsedSeconds();

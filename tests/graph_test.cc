@@ -39,9 +39,9 @@ TEST_F(GraphTest, RegisterRejectsDuplicatesAndBadTypes) {
 }
 
 TEST_F(GraphTest, EntitiesOfTypeIncludesSubtypes) {
-  registry_->Register("Neymar", player_);
-  registry_->Register("Some Person", person_);
-  registry_->Register("PSG", club_);
+  ASSERT_TRUE(registry_->Register("Neymar", player_).ok());
+  ASSERT_TRUE(registry_->Register("Some Person", person_).ok());
+  ASSERT_TRUE(registry_->Register("PSG", club_).ok());
   EXPECT_EQ(registry_->EntitiesOfType(person_).size(), 2u);
   EXPECT_EQ(registry_->CountEntitiesOfType(person_), 2u);
   EXPECT_EQ(registry_->CountEntitiesOfType(player_), 1u);

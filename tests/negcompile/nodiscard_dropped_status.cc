@@ -1,0 +1,18 @@
+// Negative-compilation probe: drops a Status on the floor. Status is
+// [[nodiscard]] (common/status.h), so compiling this TU with
+// -Werror=unused-result must FAIL — ctest registers it with WILL_FAIL.
+// The companion negcompile_nodiscard_control test compiles the same file
+// without the -Werror flag to prove the failure comes from the dropped
+// Status and not from an unrelated compile error.
+#include "common/status.h"
+
+namespace {
+
+wiclean::Status MightFail() { return wiclean::Status::Internal("probe"); }
+
+}  // namespace
+
+int main() {
+  MightFail();  // dropped: this is the line the build must reject
+  return 0;
+}

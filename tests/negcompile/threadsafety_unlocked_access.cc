@@ -1,0 +1,20 @@
+// Negative-compilation probe: unlocked access to a WC_GUARDED_BY field.
+// WICLEAN_NEGATIVE_COMPILE_UNLOCKED exposes
+// ThreadPool::UnsynchronizedQueueSizeForNegativeCompileTest(), which reads
+// queue_ (guarded by mu_) without holding the lock. Under Clang with
+// -Werror=thread-safety this TU must FAIL to compile — ctest registers it
+// with WILL_FAIL (Clang toolchains only; GCC compiles the annotations as
+// no-ops, so the test is not registered there). The companion control test
+// compiles the same file without the macro, proving the failure comes from
+// the guarded access and nothing else.
+#include "common/thread_pool.h"
+
+int main() {
+  wiclean::ThreadPool pool(1);
+#ifdef WICLEAN_NEGATIVE_COMPILE_UNLOCKED
+  return static_cast<int>(
+      pool.UnsynchronizedQueueSizeForNegativeCompileTest());
+#else
+  return 0;
+#endif
+}

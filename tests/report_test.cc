@@ -154,12 +154,25 @@ TEST_F(ReportTest, SearchReportJson) {
   result.patterns.push_back(dp);
 
   std::ostringstream out;
-  WriteSearchReportJson(result, *taxonomy_, registry_.get(), &out);
+  ASSERT_TRUE(
+      WriteSearchReportJson(result, *taxonomy_, registry_.get(), &out).ok());
   std::string json = out.str();
   EXPECT_TRUE(BalancedJson(json)) << json;
   EXPECT_NE(json.find("\"frequency\": 0.8"), std::string::npos);
   EXPECT_NE(json.find("\"relative_patterns\""), std::string::npos);
   EXPECT_NE(json.find("\"new_patterns\": 1"), std::string::npos);
+}
+
+// Regression (PR 2): JSON/CSV writers used to return void, so a failed
+// stream (disk full behind `wiclean mine --json`) looked like success.
+TEST_F(ReportTest, SearchReportJsonReportsStreamFailure) {
+  WindowSearchResult result;
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  Status status =
+      WriteSearchReportJson(result, *taxonomy_, registry_.get(), &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
 }
 
 TEST_F(ReportTest, DetectionReportJsonNamesEntities) {
@@ -175,7 +188,8 @@ TEST_F(ReportTest, DetectionReportJsonNamesEntities) {
   report.partials.push_back(pr);
 
   std::ostringstream out;
-  WriteDetectionReportJson(report, *taxonomy_, *registry_, &out);
+  ASSERT_TRUE(
+      WriteDetectionReportJson(report, *taxonomy_, *registry_, &out).ok());
   std::string json = out.str();
   EXPECT_TRUE(BalancedJson(json)) << json;
   EXPECT_NE(json.find("\"Neymar\""), std::string::npos);
@@ -193,7 +207,8 @@ TEST_F(ReportTest, SignalsCsvQuotesFields) {
   report.partials.push_back(pr);
 
   std::ostringstream out;
-  WriteSignalsCsv({{&report, "join \"pair\""}}, *registry_, &out);
+  ASSERT_TRUE(
+      WriteSignalsCsv({{&report, "join \"pair\""}}, *registry_, &out).ok());
   std::string csv = out.str();
   EXPECT_NE(csv.find("pattern,window_begin_day"), std::string::npos);
   EXPECT_NE(csv.find("\"join \"\"pair\"\"\""), std::string::npos);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "common/rng.h"
 #include "revision/revision_store.h"
@@ -35,6 +36,24 @@ TEST(WindowTest, SplitTimelineTruncatesLast) {
   std::vector<TimeWindow> w = SplitTimeline(0, 5, 2);
   ASSERT_EQ(w.size(), 3u);
   EXPECT_EQ(w[2].width(), 1);
+}
+
+// Regression (PR 2, found by UBSan): `b + width` overflowed int64 when the
+// timeline reached toward INT64_MAX (timestamps are raw dump input). The
+// split must stay exact — no UB, last window truncated at timeline_end.
+TEST(WindowTest, SplitTimelineNearInt64MaxDoesNotOverflow) {
+  const Timestamp end = std::numeric_limits<Timestamp>::max();
+  std::vector<TimeWindow> w =
+      SplitTimeline(end - 3 * kSecondsPerDay, end, kSecondsPerWeek);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].begin, end - 3 * kSecondsPerDay);
+  EXPECT_EQ(w[0].end, end);
+
+  // Whole-range split: both ends extreme, multiple windows.
+  const Timestamp begin = end - 2 * kSecondsPerWeek;
+  w = SplitTimeline(begin, end, kSecondsPerWeek);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[1].end, end);
 }
 
 TEST(WindowTest, SplitTimelineDegenerateInputs) {

@@ -1,0 +1,94 @@
+// wiclean_lint: repo convention checker. Usage:
+//
+//   wiclean_lint <repo-root>
+//
+// Walks src/, tools/, tests/, bench/, examples/ for C++ sources, applies the
+// rules in lint_rules.h, prints one `path:line: [rule] message` per finding,
+// and exits non-zero if anything fired. Registered as the `repo_lint` ctest
+// and as the CI lint job, so a convention violation fails the build the same
+// way a compiler warning-as-error does.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace wiclean {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Directories whose contents are linted, relative to the repo root.
+constexpr const char* kRoots[] = {"src", "tools", "tests", "bench",
+                                  "examples"};
+
+/// Skipped anywhere in the tree: build output and lint fixtures (the
+/// fixtures deliberately violate the rules; lint_test.cc covers them).
+bool SkipDirectory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "testdata" || name.rfind("build", 0) == 0;
+}
+
+int Run(const fs::path& repo_root) {
+  std::vector<LintFinding> findings;
+  size_t files_scanned = 0;
+
+  for (const char* root : kRoots) {
+    fs::path dir = repo_root / root;
+    if (!fs::exists(dir)) continue;
+    auto it = fs::recursive_directory_iterator(dir);
+    for (auto end = fs::end(it); it != end; ++it) {
+      if (it->is_directory()) {
+        if (SkipDirectory(it->path())) it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !HasLintableExtension(it->path())) {
+        continue;
+      }
+      const std::string rel =
+          fs::relative(it->path(), repo_root).generic_string();
+      std::ifstream in(it->path(), std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "wiclean_lint: cannot read %s\n", rel.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string content = buffer.str();
+      ++files_scanned;
+      std::vector<LintFinding> file_findings =
+          LintFile(rel, content, IsTestPath(rel));
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+
+  for (const LintFinding& f : findings) {
+    std::printf("%s\n", f.ToString().c_str());
+  }
+  std::fprintf(stderr, "wiclean_lint: %zu file(s), %zu finding(s)\n",
+               files_scanned, findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace wiclean
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: wiclean_lint <repo-root>\n");
+    return 2;
+  }
+  return wiclean::lint::Run(argv[1]);
+}

@@ -1,0 +1,4 @@
+// Lint fixture: calls a banned function.
+#include <cstdlib>
+
+int Roll() { return rand() % 6; }

@@ -1,0 +1,8 @@
+// Lint fixture: include guard does not follow the WICLEAN_<PATH>_H_
+// convention for tools/lint/fixtures/bad_guard.h.
+#ifndef BAD_GUARD_H
+#define BAD_GUARD_H
+
+int Unused();
+
+#endif  // BAD_GUARD_H

@@ -1,0 +1,2 @@
+// Lint fixture: raw new in production code without a suppression.
+int* Leak() { return new int(42); }

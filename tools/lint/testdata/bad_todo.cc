@@ -1,0 +1,3 @@
+// Lint fixture: ownerless TODO.
+// TODO: someone should fix this someday.
+int Pending() { return 0; }

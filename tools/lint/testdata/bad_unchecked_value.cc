@@ -1,0 +1,6 @@
+// Lint fixture: .value() with no visible ok() check nearby.
+#include "common/result.h"
+
+int Crashy(const wiclean::Result<int>& r) {
+  return r.value();
+}

@@ -1,0 +1,18 @@
+// Lint fixture: a fully conventional header. Linted as if it lived at
+// tools/lint/fixtures/good.h, so the guard below matches that path.
+#ifndef WICLEAN_TOOLS_LINT_FIXTURES_GOOD_H_
+#define WICLEAN_TOOLS_LINT_FIXTURES_GOOD_H_
+
+#include <memory>
+#include <string>
+
+namespace wiclean {
+
+// TODO(lint): fixtures stay minimal on purpose.
+inline std::unique_ptr<std::string> MakeName() {
+  return std::make_unique<std::string>("good");
+}
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_TOOLS_LINT_FIXTURES_GOOD_H_

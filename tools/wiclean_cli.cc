@@ -26,6 +26,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -154,9 +155,14 @@ Result<LoadedCorpus> LoadCorpus(const Args& args) {
   if (!corpus.store.TimeSpan(&corpus.begin, &corpus.end)) {
     return Status::FailedPrecondition("dump contains no link edits");
   }
-  // Round the timeline outward to whole days so windows are stable.
+  // Round the timeline outward to whole days so windows are stable. The
+  // upper bound saturates instead of overflowing: timestamps are raw dump
+  // input, so `end` can sit arbitrarily close to INT64_MAX.
   corpus.begin = (corpus.begin / kSecondsPerDay) * kSecondsPerDay;
-  corpus.end = ((corpus.end / kSecondsPerDay) + 1) * kSecondsPerDay;
+  Timestamp end_day = corpus.end / kSecondsPerDay;
+  if (end_day < std::numeric_limits<Timestamp>::max() / kSecondsPerDay) {
+    corpus.end = (end_day + 1) * kSecondsPerDay;
+  }
   return corpus;
 }
 
@@ -202,13 +208,15 @@ int RunSynth(const Args& args) {
     std::ofstream f(base + "taxonomy.tsv");
     if (!f) return Fail(Status::Internal("cannot write " + base +
                                          "taxonomy.tsv"));
-    WriteTaxonomy(*world->taxonomy, &f);
+    Status status = WriteTaxonomy(*world->taxonomy, &f);
+    if (!status.ok()) return Fail(status);
   }
   {
     std::ofstream f(base + "alignment.tsv");
     if (!f) return Fail(Status::Internal("cannot write " + base +
                                          "alignment.tsv"));
-    WriteAlignment(*world->registry, &f);
+    Status status = WriteAlignment(*world->registry, &f);
+    if (!status.ok()) return Fail(status);
   }
   {
     std::ofstream f(base + "dump.xml");
@@ -240,8 +248,9 @@ int RunMine(const Args& args) {
   if (!json_path.empty()) {
     std::ofstream f(json_path);
     if (!f) return Fail(Status::Internal("cannot write " + json_path));
-    WriteSearchReportJson(*result, *corpus->taxonomy, corpus->registry.get(),
-                          &f);
+    Status status = WriteSearchReportJson(*result, *corpus->taxonomy,
+                                          corpus->registry.get(), &f);
+    if (!status.ok()) return Fail(status);
     std::printf("JSON report written to %s\n", json_path.c_str());
   }
   return 0;
@@ -308,7 +317,8 @@ int RunDetect(const Args& args) {
       rows.push_back(
           {&report, report.pattern.ToString(*corpus->taxonomy)});
     }
-    WriteSignalsCsv(rows, *corpus->registry, &f);
+    Status status = WriteSignalsCsv(rows, *corpus->registry, &f);
+    if (!status.ok()) return Fail(status);
     std::printf("CSV written to %s\n", csv_path.c_str());
   }
   return 0;
