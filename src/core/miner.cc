@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/realization_join.h"
 #include "relational/ops.h"
 
 namespace wiclean {
@@ -55,44 +56,6 @@ rel::Schema RealizationSchema(size_t num_vars) {
   return schema;
 }
 
-/// Deduplicates realization rows by variable assignment, keeping the row
-/// with the smallest time span (the most localizable witness).
-rel::Table DedupKeepTightest(const rel::Table& input, size_t num_vars) {
-  const size_t width = num_vars + 2;
-  std::vector<std::vector<int64_t>> rows;
-  std::unordered_map<uint64_t, std::vector<size_t>> by_hash;
-  rows.reserve(input.num_rows());
-  std::vector<int64_t> row(width);
-  for (size_t r = 0; r < input.num_rows(); ++r) {
-    for (size_t c = 0; c < width; ++c) row[c] = input.column(c).Int64At(r);
-    uint64_t h = 1469598103934665603ULL;
-    for (size_t c = 0; c < num_vars; ++c) {
-      uint64_t x = static_cast<uint64_t>(row[c]);
-      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      h = HashCombine(h, x ^ (x >> 31));
-    }
-    bool matched = false;
-    for (size_t o : by_hash[h]) {
-      if (!std::equal(rows[o].begin(), rows[o].begin() + num_vars,
-                      row.begin())) {
-        continue;
-      }
-      matched = true;
-      int64_t old_span = rows[o][num_vars + 1] - rows[o][num_vars];
-      int64_t new_span = row[num_vars + 1] - row[num_vars];
-      if (new_span < old_span) rows[o] = row;
-      break;
-    }
-    if (!matched) {
-      by_hash[h].push_back(rows.size());
-      rows.push_back(row);
-    }
-  }
-  rel::Table out(input.schema());
-  for (const std::vector<int64_t>& kept : rows) out.AppendInt64Row(kept);
-  return out;
-}
-
 }  // namespace
 
 /// All mining logic for one (seed type, window) pair. Owns nothing; mutates
@@ -115,12 +78,19 @@ class PatternMiner::Impl {
   /// state from a previous (higher-threshold) run over the same window, the
   /// cached evaluations seed the frequent set and only new expansions run.
   Status MineFrequent() {
-    for (const auto& [key, state] : ctx_->evaluated) {
+    for (auto& [key, state] : ctx_->evaluated) {
       if (state.support > 0 &&
           state.frequency >= options_.frequency_threshold) {
-        ctx_->evaluated.at(key).frequent = true;
+        state.frequent = true;
         frequent_keys_.push_back(key);
       }
+    }
+    // The evaluation cache is unordered; sort the seeded worklist so reused
+    // contexts expand (and report) in the same order as a fresh run.
+    std::sort(frequent_keys_.begin(), frequent_keys_.end());
+    frequent_hashes_.reserve(frequent_keys_.size());
+    for (const std::string& key : frequent_keys_) {
+      frequent_hashes_.push_back(Fnv1a64(key));
     }
     Timer ingest_timer;
     if (options_.graph_strategy == GraphStrategy::kMaterializeFull) {
@@ -137,20 +107,24 @@ class PatternMiner::Impl {
     ctx_->ingested_types.insert(seed_type_);
     ctx_->stats.ingest_seconds += ingest_timer.ElapsedSeconds();
 
-    Timer mine_timer;
+    // mine_seconds and ingest_seconds are disjoint sub-intervals of the wall
+    // clock: each timer covers exactly one phase and is read exactly once
+    // per iteration (a previous version restarted the mine timer *before*
+    // the ingest phase and read it again after the loop, double-counting the
+    // final ingest as mining time).
     for (;;) {
+      Timer mine_timer;
       WICLEAN_RETURN_IF_ERROR(ExpandAll(options_.frequency_threshold,
-                                        &frequent_keys_, &ctx_->tested,
+                                        &frequent_keys_, &frequent_hashes_,
+                                        &ctx_->tested,
                                         /*mark_frequent=*/true));
       ctx_->stats.mine_seconds += mine_timer.ElapsedSeconds();
-      mine_timer.Restart();
 
       ingest_timer.Restart();
       bool grew = IngestPendingTypes();
       ctx_->stats.ingest_seconds += ingest_timer.ElapsedSeconds();
       if (!grew) break;
     }
-    ctx_->stats.mine_seconds += mine_timer.ElapsedSeconds();
     ctx_->stats.entities_ingested = ctx_->index.num_entities_ingested();
     ctx_->stats.actions_ingested = ctx_->index.num_actions_ingested();
     ctx_->stats.abstract_actions = ctx_->index.entries().size();
@@ -174,9 +148,11 @@ class PatternMiner::Impl {
     }
     double admission = rel_threshold * it->second.frequency;
     std::vector<std::string> admitted = {base_key};
+    std::vector<uint64_t> admitted_hashes = {Fnv1a64(base_key)};
     std::unordered_set<uint64_t> local_tested;
     Timer mine_timer;
-    WICLEAN_RETURN_IF_ERROR(ExpandAll(admission, &admitted, &local_tested,
+    WICLEAN_RETURN_IF_ERROR(ExpandAll(admission, &admitted, &admitted_hashes,
+                                      &local_tested,
                                       /*mark_frequent=*/false));
     ctx_->stats.mine_seconds += mine_timer.ElapsedSeconds();
     admitted.erase(admitted.begin());  // drop the base itself
@@ -190,22 +166,35 @@ class PatternMiner::Impl {
   /// `admission`. Also (re)scans singleton candidates when mark_frequent is
   /// set, so newly ingested action types can seed new patterns.
   Status ExpandAll(double admission, std::vector<std::string>* admitted_keys,
+                   std::vector<uint64_t>* admitted_hashes,
                    std::unordered_set<uint64_t>* tested, bool mark_frequent) {
     if (mark_frequent) {
-      WICLEAN_RETURN_IF_ERROR(
-          ScanSingletons(admission, admitted_keys, tested));
+      WICLEAN_RETURN_IF_ERROR(ScanSingletons(admission, admitted_keys,
+                                             admitted_hashes, tested));
+    }
+    WICLEAN_CHECK(admitted_keys->size() == admitted_hashes->size());
+    // Snapshot the abstract actions with their key hashes computed once: the
+    // pair-tested check below runs for every (pattern, action) combination,
+    // and re-hashing both strings each time dominated this loop. Pattern-key
+    // hashes ride along in admitted_hashes. The index cannot grow during
+    // expansion (ingest happens between ExpandAll rounds), so the snapshot
+    // stays valid.
+    std::vector<std::pair<const AbstractActionEntry*, uint64_t>> actions;
+    actions.reserve(ctx_->index.entries().size());
+    for (const auto& [action_key, entry] : ctx_->index.entries()) {
+      actions.emplace_back(&entry, Fnv1a64(action_key));
     }
     std::unordered_set<std::string> admitted_set(admitted_keys->begin(),
                                                  admitted_keys->end());
     for (size_t pi = 0; pi < admitted_keys->size(); ++pi) {
       const std::string pattern_key = (*admitted_keys)[pi];
-      for (const auto& [action_key, entry] : ctx_->index.entries()) {
-        uint64_t pair_key =
-            HashCombine(Fnv1a64(pattern_key), Fnv1a64(action_key));
+      const uint64_t pattern_hash = (*admitted_hashes)[pi];
+      for (const auto& [entry, action_hash] : actions) {
+        uint64_t pair_key = HashCombine(pattern_hash, action_hash);
         if (!tested->insert(pair_key).second) continue;
-        WICLEAN_RETURN_IF_ERROR(ExpandPair(pattern_key, entry, admission,
-                                           admitted_keys, &admitted_set,
-                                           mark_frequent));
+        WICLEAN_RETURN_IF_ERROR(ExpandPair(pattern_key, *entry, admission,
+                                           admitted_keys, admitted_hashes,
+                                           &admitted_set, mark_frequent));
       }
     }
     return Status::OK();
@@ -216,6 +205,7 @@ class PatternMiner::Impl {
   /// every abstraction level).
   Status ScanSingletons(double admission,
                         std::vector<std::string>* admitted_keys,
+                        std::vector<uint64_t>* admitted_hashes,
                         std::unordered_set<uint64_t>* tested) {
     std::unordered_set<std::string> admitted_set(admitted_keys->begin(),
                                                  admitted_keys->end());
@@ -255,8 +245,8 @@ class PatternMiner::Impl {
         cached = RecordEvaluation(std::move(key), std::move(p),
                                   std::move(realization));
       }
-      MaybeAdmit(cached, admission, admitted_keys, &admitted_set,
-                 /*mark_frequent=*/true);
+      MaybeAdmit(cached, admission, admitted_keys, admitted_hashes,
+                 &admitted_set, /*mark_frequent=*/true);
     }
     return Status::OK();
   }
@@ -267,6 +257,7 @@ class PatternMiner::Impl {
   Status ExpandPair(const std::string& pattern_key,
                     const AbstractActionEntry& entry, double admission,
                     std::vector<std::string>* admitted_keys,
+                    std::vector<uint64_t>* admitted_hashes,
                     std::unordered_set<std::string>* admitted_set,
                     bool mark_frequent) {
     const MiningContext::PatternState& base = ctx_->evaluated.at(pattern_key);
@@ -306,9 +297,9 @@ class PatternMiner::Impl {
           taxonomy_->Comparable(entry.key.target_type, seed_type_);
       if (p.num_vars() < options_.max_pattern_vars &&
           !fresh_seed_var_blocked) {
-        WICLEAN_RETURN_IF_ERROR(
-            EvaluateExtension(base, entry, i, /*glue_target=*/-1, admission,
-                              admitted_keys, admitted_set, mark_frequent));
+        WICLEAN_RETURN_IF_ERROR(EvaluateExtension(
+            base, entry, i, /*glue_target=*/-1, admission, admitted_keys,
+            admitted_hashes, admitted_set, mark_frequent));
       }
       // Option B: glue the target onto each compatible existing variable.
       for (int k = 0; k < static_cast<int>(p.num_vars()); ++k) {
@@ -322,21 +313,25 @@ class PatternMiner::Impl {
           }
         }
         if (duplicate_action) continue;
-        WICLEAN_RETURN_IF_ERROR(
-            EvaluateExtension(base, entry, i, k, admission, admitted_keys,
-                              admitted_set, mark_frequent));
+        WICLEAN_RETURN_IF_ERROR(EvaluateExtension(
+            base, entry, i, k, admission, admitted_keys, admitted_hashes,
+            admitted_set, mark_frequent));
       }
     }
     return Status::OK();
   }
 
   /// Builds the extended pattern, computes its realization table by joining
-  /// the base realization with the action realization (hash join for PM,
-  /// nested loop for PM−join), evaluates its frequency, caches, and admits.
+  /// the base realization with the action realization, evaluates its
+  /// frequency, caches, and admits. The PM path runs the fused
+  /// JoinRealizations operator (join + span recompute + prune + dedup in one
+  /// pass, no wide join materialized); PM−join keeps the unfused
+  /// nested-loop pipeline as the §6 ablation baseline.
   Status EvaluateExtension(const MiningContext::PatternState& base,
                            const AbstractActionEntry& entry, int glue_source,
                            int glue_target, double admission,
                            std::vector<std::string>* admitted_keys,
+                           std::vector<uint64_t>* admitted_hashes,
                            std::unordered_set<std::string>* admitted_set,
                            bool mark_frequent) {
     Pattern extended = base.pattern;
@@ -350,52 +345,75 @@ class PatternMiner::Impl {
     auto cached = ctx_->evaluated.find(key);
     if (cached == ctx_->evaluated.end()) {
       const size_t n = base.pattern.num_vars();
-      rel::JoinSpec spec;
-      spec.equal_cols.push_back(
-          {static_cast<size_t>(glue_source), 0});  // pattern var = action u
-      if (glue_target >= 0) {
-        spec.equal_cols.push_back({static_cast<size_t>(glue_target), 1});
-      } else {
-        // Fresh variable: must bind an entity distinct from every variable it
-        // could share a binding with (types on one taxonomy path).
-        for (size_t k = 0; k < n; ++k) {
-          if (taxonomy_->Comparable(base.pattern.var_type(k),
-                                    entry.key.target_type)) {
-            spec.not_equal_cols.push_back({k, 1});
+      const size_t new_vars = glue_target < 0 ? n + 1 : n;
+      rel::Table realization(rel::Schema{});
+      if (options_.join_engine == JoinEngineKind::kHashJoin) {
+        RealizationJoinSpec rspec;
+        rspec.num_left_vars = n;
+        rspec.glue_source_col = static_cast<size_t>(glue_source);
+        rspec.glue_target_col = glue_target;
+        if (glue_target < 0) {
+          // Fresh variable: must bind an entity distinct from every variable
+          // it could share a binding with (types on one taxonomy path).
+          for (size_t k = 0; k < n; ++k) {
+            if (taxonomy_->Comparable(base.pattern.var_type(static_cast<int>(k)),
+                                      entry.key.target_type)) {
+              rspec.distinct_from_target.push_back(k);
+            }
           }
         }
+        rspec.max_span = options_.max_realization_span;
+        rspec.dedup_keep_tightest = true;
+        WICLEAN_ASSIGN_OR_RETURN(
+            realization,
+            JoinRealizations(base.realizations, entry.realizations,
+                             RealizationSchema(new_vars), rspec));
+      } else {
+        rel::JoinSpec spec;
+        spec.equal_cols.push_back(
+            {static_cast<size_t>(glue_source), 0});  // pattern var = action u
+        if (glue_target >= 0) {
+          spec.equal_cols.push_back({static_cast<size_t>(glue_target), 1});
+        } else {
+          for (size_t k = 0; k < n; ++k) {
+            if (taxonomy_->Comparable(base.pattern.var_type(static_cast<int>(k)),
+                                      entry.key.target_type)) {
+              spec.not_equal_cols.push_back({k, 1});
+            }
+          }
+        }
+        WICLEAN_ASSIGN_OR_RETURN(
+            rel::Table joined,
+            rel::NestedLoopJoin(base.realizations, entry.realizations, spec));
+        // Joined layout: v0..v(n-1), tmin, tmax, u, v, t. Recompute the
+        // span, prune realizations wider than any reportable pattern window,
+        // and keep the tightest witness per variable assignment.
+        realization = rel::Table(RealizationSchema(new_vars));
+        std::vector<int64_t> row(new_vars + 2);
+        for (size_t r = 0; r < joined.num_rows(); ++r) {
+          int64_t t = joined.column(n + 4).Int64At(r);
+          int64_t tmin = std::min(joined.column(n).Int64At(r), t);
+          int64_t tmax = std::max(joined.column(n + 1).Int64At(r), t);
+          if (tmax - tmin > options_.max_realization_span) continue;
+          for (size_t c = 0; c < n; ++c) row[c] = joined.column(c).Int64At(r);
+          if (glue_target < 0) row[n] = joined.column(n + 3).Int64At(r);  // v
+          row[new_vars] = tmin;
+          row[new_vars + 1] = tmax;
+          realization.AppendInt64Row(row);
+        }
+        realization = DedupKeepTightest(realization, new_vars);
       }
-      WICLEAN_ASSIGN_OR_RETURN(rel::Table joined,
-                               Join(base.realizations, entry.realizations,
-                                    spec));
-      // Joined layout: v0..v(n-1), tmin, tmax, u, v, t. Recompute the span,
-      // prune realizations wider than any reportable pattern window, and
-      // keep the tightest witness per variable assignment.
-      const size_t new_vars = glue_target < 0 ? n + 1 : n;
-      rel::Table realization(RealizationSchema(new_vars));
-      std::vector<int64_t> row(new_vars + 2);
-      for (size_t r = 0; r < joined.num_rows(); ++r) {
-        int64_t t = joined.column(n + 4).Int64At(r);
-        int64_t tmin = std::min(joined.column(n).Int64At(r), t);
-        int64_t tmax = std::max(joined.column(n + 1).Int64At(r), t);
-        if (tmax - tmin > options_.max_realization_span) continue;
-        for (size_t c = 0; c < n; ++c) row[c] = joined.column(c).Int64At(r);
-        if (glue_target < 0) row[n] = joined.column(n + 3).Int64At(r);  // v
-        row[new_vars] = tmin;
-        row[new_vars + 1] = tmax;
-        realization.AppendInt64Row(row);
-      }
-      realization = DedupKeepTightest(realization, new_vars);
       cached = RecordEvaluation(std::move(key), std::move(extended),
                                 std::move(realization));
     }
-    MaybeAdmit(cached, admission, admitted_keys, admitted_set, mark_frequent);
+    MaybeAdmit(cached, admission, admitted_keys, admitted_hashes,
+               admitted_set, mark_frequent);
     return Status::OK();
   }
 
   /// Computes frequency (Definition 3.2) and stores the evaluation.
-  std::map<std::string, MiningContext::PatternState>::iterator
-  RecordEvaluation(std::string key, Pattern pattern, rel::Table realization) {
+  MiningContext::EvaluatedMap::iterator RecordEvaluation(
+      std::string key, Pattern pattern, rel::Table realization) {
     ++ctx_->stats.candidates_considered;
     MiningContext::PatternState state;
     size_t source_col = static_cast<size_t>(pattern.source_var());
@@ -411,14 +429,18 @@ class PatternMiner::Impl {
     return ctx_->evaluated.emplace(std::move(key), std::move(state)).first;
   }
 
-  void MaybeAdmit(
-      std::map<std::string, MiningContext::PatternState>::iterator it,
-      double admission, std::vector<std::string>* admitted_keys,
-      std::unordered_set<std::string>* admitted_set, bool mark_frequent) {
+  void MaybeAdmit(MiningContext::EvaluatedMap::iterator it, double admission,
+                  std::vector<std::string>* admitted_keys,
+                  std::vector<uint64_t>* admitted_hashes,
+                  std::unordered_set<std::string>* admitted_set,
+                  bool mark_frequent) {
     if (it->second.support == 0 || it->second.frequency < admission) return;
     if (mark_frequent) it->second.frequent = true;
     if (admitted_set->insert(it->first).second) {
       admitted_keys->push_back(it->first);
+      // Key hash rides along with the worklist entry, so the pair-tested
+      // loop never re-hashes pattern keys.
+      admitted_hashes->push_back(Fnv1a64(it->first));
     }
   }
 
@@ -433,14 +455,6 @@ class PatternMiner::Impl {
       if (taxonomy_->IsA(registry_->TypeOf(e), seed_type_)) seen.insert(e);
     }
     return seen.size();
-  }
-
-  Result<rel::Table> Join(const rel::Table& left, const rel::Table& right,
-                          const rel::JoinSpec& spec) const {
-    if (options_.join_engine == JoinEngineKind::kHashJoin) {
-      return rel::HashJoin(left, right, spec);
-    }
-    return rel::NestedLoopJoin(left, right, spec);
   }
 
   /// Algorithm 1 lines 4-8: ingest revision histories of any new entity type
@@ -469,6 +483,7 @@ class PatternMiner::Impl {
   bool full_graph_ = false;
 
   std::vector<std::string> frequent_keys_;
+  std::vector<uint64_t> frequent_hashes_;  // Fnv1a64 of frequent_keys_[i]
 };
 
 PatternMiner::PatternMiner(const EntityRegistry* registry,
@@ -600,9 +615,40 @@ PatternMiner::EvaluateRealizations(TypeId seed_type, const Pattern& pattern,
       acc = rel::Table(acc.schema());
       break;
     }
+    bool fresh = var_col[a.target_var] < 0;
+    if (options_.join_engine == JoinEngineKind::kHashJoin) {
+      // Fused join + span recompute; no span prune or dedup here — fixed
+      // patterns keep every realization so the window search sees all spans.
+      RealizationJoinSpec rspec;
+      rspec.num_left_vars = bound_vars;
+      rspec.glue_source_col = static_cast<size_t>(var_col[a.source_var]);
+      rspec.glue_target_col = fresh ? -1 : var_col[a.target_var];
+      if (fresh) {
+        for (size_t k = 0; k < pattern.num_vars(); ++k) {
+          if (var_col[k] < 0 || static_cast<int>(k) == a.target_var) continue;
+          if (taxonomy.Comparable(pattern.var_type(static_cast<int>(k)),
+                                  pattern.var_type(a.target_var))) {
+            rspec.distinct_from_target.push_back(
+                static_cast<size_t>(var_col[k]));
+          }
+        }
+      }
+      const size_t new_bound = bound_vars + (fresh ? 1 : 0);
+      WICLEAN_ASSIGN_OR_RETURN(
+          rel::Table next,
+          JoinRealizations(acc, *ra, make_schema(new_bound), rspec));
+      if (fresh) {
+        var_col[a.target_var] = static_cast<int>(bound_vars);
+        ++bound_vars;
+      }
+      acc = std::move(next);
+      continue;
+    }
+
+    // PM−join ablation: materialized nested-loop join + row-at-a-time span
+    // recompute.
     rel::JoinSpec spec;
     spec.equal_cols.push_back({static_cast<size_t>(var_col[a.source_var]), 0});
-    bool fresh = var_col[a.target_var] < 0;
     if (!fresh) {
       spec.equal_cols.push_back(
           {static_cast<size_t>(var_col[a.target_var]), 1});
@@ -616,10 +662,7 @@ PatternMiner::EvaluateRealizations(TypeId seed_type, const Pattern& pattern,
         }
       }
     }
-    Result<rel::Table> joined =
-        options_.join_engine == JoinEngineKind::kHashJoin
-            ? rel::HashJoin(acc, *ra, spec)
-            : rel::NestedLoopJoin(acc, *ra, spec);
+    Result<rel::Table> joined = rel::NestedLoopJoin(acc, *ra, spec);
     WICLEAN_RETURN_IF_ERROR(joined.status());
 
     const size_t lhs_width = acc.num_columns();     // bound_vars + 2

@@ -1,13 +1,14 @@
 #ifndef WICLEAN_CORE_MINER_H_
 #define WICLEAN_CORE_MINER_H_
 
-#include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <unordered_set>
 #include <string>
 #include <vector>
 
+#include "common/strings.h"
 #include "core/action_index.h"
 #include "core/pattern.h"
 #include "graph/entity_registry.h"
@@ -139,9 +140,22 @@ class MiningContext {
                 const TimeWindow& window, const MinerOptions& options)
       : index(registry, store, window, options.max_abstraction_lift) {}
 
+  /// Canonical pattern keys are hashed with Fnv1a64 — the same hash the
+  /// miner already computes for tested-pair keys, so profiles show one key
+  /// hash function end to end.
+  struct PatternKeyHasher {
+    size_t operator()(const std::string& key) const {
+      return static_cast<size_t>(Fnv1a64(key));
+    }
+  };
+  using EvaluatedMap =
+      std::unordered_map<std::string, PatternState, PatternKeyHasher>;
+
   ActionIndex index;
-  /// canonical pattern key -> evaluation result.
-  std::map<std::string, PatternState> evaluated;
+  /// canonical pattern key -> evaluation result. Unordered: anything whose
+  /// output order could leak from iteration order (e.g. seeding a reused
+  /// context's frequent set) must sort explicitly.
+  EvaluatedMap evaluated;
   /// Hashes of (pattern key, action key) pairs already expanded — tested[w]
   /// in §4.1. 64-bit hashes keep this set compact at wide-window rounds.
   std::unordered_set<uint64_t> tested;

@@ -1,0 +1,299 @@
+#include "core/realization_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "relational/join_hash_table.h"
+
+namespace wiclean {
+
+namespace rel = ::wiclean::relational;
+
+namespace {
+
+constexpr uint64_t kHashSeed = 1469598103934665603ULL;  // FNV-1a offset basis
+
+Status ValidateRealizationInputs(const rel::Table& left,
+                                 const rel::Table& right,
+                                 const RealizationJoinSpec& spec) {
+  if (left.num_columns() != spec.num_left_vars + 2) {
+    return Status::InvalidArgument(
+        "left realization table width != num_left_vars + 2");
+  }
+  if (right.num_columns() != 3) {
+    return Status::InvalidArgument(
+        "action realization table must be (u, v, t)");
+  }
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    if (left.column(c).type() != rel::DataType::kInt64) {
+      return Status::InvalidArgument("realization tables must be all-int64");
+    }
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    if (right.column(c).type() != rel::DataType::kInt64) {
+      return Status::InvalidArgument("realization tables must be all-int64");
+    }
+  }
+  if (spec.glue_source_col >= spec.num_left_vars) {
+    return Status::InvalidArgument("glue_source_col out of range");
+  }
+  if (spec.glue_target_col >= static_cast<int>(spec.num_left_vars)) {
+    return Status::InvalidArgument("glue_target_col out of range");
+  }
+  for (size_t c : spec.distinct_from_target) {
+    if (c >= spec.num_left_vars) {
+      return Status::InvalidArgument("distinct_from_target column out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<rel::Table> JoinRealizations(const rel::Table& left,
+                                    const rel::Table& right,
+                                    rel::Schema schema,
+                                    const RealizationJoinSpec& spec) {
+  WICLEAN_RETURN_IF_ERROR(ValidateRealizationInputs(left, right, spec));
+  const size_t n = spec.num_left_vars;
+  const bool fresh = spec.glue_target_col < 0;
+  const size_t out_vars = n + (fresh ? 1 : 0);
+  if (schema.num_fields() != out_vars + 2) {
+    return Status::InvalidArgument(
+        "output schema width != output vars + tmin + tmax");
+  }
+  WICLEAN_CHECK(left.num_rows() < rel::kNoRow &&
+                right.num_rows() < rel::kNoRow);
+
+  // One combined key hash per row on each side (columnar, contiguous).
+  std::vector<size_t> lkeys = {spec.glue_source_col};
+  std::vector<size_t> rkeys = {0};
+  if (!fresh) {
+    lkeys.push_back(static_cast<size_t>(spec.glue_target_col));
+    rkeys.push_back(1);
+  }
+  std::vector<uint64_t> lhash, rhash;
+  rel::HashRowsForKeys(left, lkeys, &lhash, nullptr);
+  rel::HashRowsForKeys(right, rkeys, &rhash, nullptr);
+  rel::JoinHashTable build;
+  build.Build(rhash.data(), nullptr, right.num_rows());
+
+  // Raw column pointers: every per-candidate test below is array indexing.
+  std::vector<const int64_t*> lvar(n);
+  for (size_t c = 0; c < n; ++c) lvar[c] = left.column(c).int64_data().data();
+  const int64_t* lt_min = left.column(n).int64_data().data();
+  const int64_t* lt_max = left.column(n + 1).int64_data().data();
+  const int64_t* ru = right.column(0).int64_data().data();
+  const int64_t* rv = right.column(1).int64_data().data();
+  const int64_t* rt = right.column(2).int64_data().data();
+  const int64_t* lglue_src = lvar[spec.glue_source_col];
+  const int64_t* lglue_tgt =
+      fresh ? nullptr : lvar[static_cast<size_t>(spec.glue_target_col)];
+
+  // Output accumulator: representative (left row, right row) per output row
+  // plus its current best span. Dedup replaces spans in place, never the
+  // representative rows (the variable assignment is identical by definition).
+  std::vector<uint32_t> lrows, rrows;
+  std::vector<int64_t> tmins, tmaxs;
+  rel::JoinHashTable dedup;
+  if (spec.dedup_keep_tightest) dedup.ResetForInsert(left.num_rows());
+
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    for (uint32_t r = build.Probe(lhash[l]); r != rel::kNoRow;
+         r = build.Next(r)) {
+      // Verify the equi-join keys (64-bit hashes can collide).
+      if (ru[r] != lglue_src[l]) continue;
+      if (!fresh && rv[r] != lglue_tgt[l]) continue;
+      if (fresh) {
+        bool distinct_ok = true;
+        for (size_t c : spec.distinct_from_target) {
+          if (lvar[c][l] == rv[r]) {
+            distinct_ok = false;
+            break;
+          }
+        }
+        if (!distinct_ok) continue;
+      }
+      // Fused span recompute + prune.
+      const int64_t t = rt[r];
+      const int64_t tmin = std::min(lt_min[l], t);
+      const int64_t tmax = std::max(lt_max[l], t);
+      if (tmax - tmin > spec.max_span) continue;
+
+      if (spec.dedup_keep_tightest) {
+        uint64_t h = kHashSeed;
+        for (size_t c = 0; c < n; ++c) {
+          h = HashCombine(h, rel::MixInt64(lvar[c][l]));
+        }
+        if (fresh) h = HashCombine(h, rel::MixInt64(rv[r]));
+        uint32_t found = rel::kNoRow;
+        for (uint32_t o = dedup.Probe(h); o != rel::kNoRow;
+             o = dedup.Next(o)) {
+          const uint32_t ol = lrows[o];
+          bool same = true;
+          for (size_t c = 0; c < n; ++c) {
+            if (lvar[c][ol] != lvar[c][l]) {
+              same = false;
+              break;
+            }
+          }
+          if (same && fresh && rv[rrows[o]] != rv[r]) same = false;
+          if (same) {
+            found = o;
+            break;
+          }
+        }
+        if (found != rel::kNoRow) {
+          // Keep the tightest witness; ties keep the earlier candidate.
+          if (tmax - tmin < tmaxs[found] - tmins[found]) {
+            tmins[found] = tmin;
+            tmaxs[found] = tmax;
+          }
+          continue;
+        }
+        WICLEAN_CHECK(lrows.size() < rel::kNoRow);
+        dedup.Insert(h, static_cast<uint32_t>(lrows.size()));
+      }
+      lrows.push_back(static_cast<uint32_t>(l));
+      rrows.push_back(r);
+      tmins.push_back(tmin);
+      tmaxs.push_back(tmax);
+    }
+  }
+
+  // Bulk columnar assembly: gather the variable columns through the
+  // representative rows, then the spans in one append each.
+  std::vector<rel::Column> cols;
+  cols.reserve(out_vars + 2);
+  for (size_t c = 0; c < n; ++c) {
+    rel::Column col(rel::DataType::kInt64);
+    col.AppendGather(left.column(c), lrows);
+    cols.push_back(std::move(col));
+  }
+  if (fresh) {
+    rel::Column col(rel::DataType::kInt64);
+    col.AppendGather(right.column(1), rrows);
+    cols.push_back(std::move(col));
+  }
+  rel::Column tmin_col(rel::DataType::kInt64);
+  tmin_col.AppendInt64Bulk(tmins);
+  cols.push_back(std::move(tmin_col));
+  rel::Column tmax_col(rel::DataType::kInt64);
+  tmax_col.AppendInt64Bulk(tmaxs);
+  cols.push_back(std::move(tmax_col));
+  return rel::Table::FromColumns(std::move(schema), std::move(cols));
+}
+
+rel::Table DedupKeepTightest(const rel::Table& input, size_t num_vars) {
+  WICLEAN_CHECK(input.num_columns() == num_vars + 2);
+  WICLEAN_CHECK(input.num_rows() < rel::kNoRow);
+  const size_t nrows = input.num_rows();
+
+  std::vector<const int64_t*> vcol(num_vars);
+  std::vector<size_t> var_cols(num_vars);
+  for (size_t c = 0; c < num_vars; ++c) {
+    vcol[c] = input.column(c).int64_data().data();
+    var_cols[c] = c;
+  }
+  const int64_t* in_tmin = input.column(num_vars).int64_data().data();
+  const int64_t* in_tmax = input.column(num_vars + 1).int64_data().data();
+
+  std::vector<uint64_t> hashes;
+  rel::HashRowsForKeys(input, var_cols, &hashes, nullptr);
+
+  // rep[o] = input row whose variable assignment output row o represents;
+  // spans track the tightest witness seen for that assignment.
+  std::vector<uint32_t> rep;
+  std::vector<int64_t> tmins, tmaxs;
+  rel::JoinHashTable groups;
+  groups.ResetForInsert(nrows);
+
+  for (size_t r = 0; r < nrows; ++r) {
+    const uint64_t h = hashes[r];
+    uint32_t found = rel::kNoRow;
+    for (uint32_t o = groups.Probe(h); o != rel::kNoRow; o = groups.Next(o)) {
+      const uint32_t pr = rep[o];
+      bool same = true;
+      for (size_t c = 0; c < num_vars; ++c) {
+        if (vcol[c][pr] != vcol[c][r]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        found = o;
+        break;
+      }
+    }
+    if (found != rel::kNoRow) {
+      if (in_tmax[r] - in_tmin[r] < tmaxs[found] - tmins[found]) {
+        tmins[found] = in_tmin[r];
+        tmaxs[found] = in_tmax[r];
+      }
+      continue;
+    }
+    groups.Insert(h, static_cast<uint32_t>(rep.size()));
+    rep.push_back(static_cast<uint32_t>(r));
+    tmins.push_back(in_tmin[r]);
+    tmaxs.push_back(in_tmax[r]);
+  }
+
+  std::vector<rel::Column> cols;
+  cols.reserve(num_vars + 2);
+  for (size_t c = 0; c < num_vars; ++c) {
+    rel::Column col(rel::DataType::kInt64);
+    col.AppendGather(input.column(c), rep);
+    cols.push_back(std::move(col));
+  }
+  rel::Column tmin_col(rel::DataType::kInt64);
+  tmin_col.AppendInt64Bulk(tmins);
+  cols.push_back(std::move(tmin_col));
+  rel::Column tmax_col(rel::DataType::kInt64);
+  tmax_col.AppendInt64Bulk(tmaxs);
+  cols.push_back(std::move(tmax_col));
+  return rel::Table::FromColumns(input.schema(), std::move(cols));
+}
+
+// The old miner dedup, byte-for-byte: row materialization plus an
+// unordered_map hash chain. Kept only as the differential-testing oracle; do
+// not optimize it.
+rel::Table ReferenceDedupKeepTightest(const rel::Table& input,
+                                      size_t num_vars) {
+  const size_t width = num_vars + 2;
+  std::vector<std::vector<int64_t>> rows;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_hash;
+  rows.reserve(input.num_rows());
+  std::vector<int64_t> row(width);
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t c = 0; c < width; ++c) row[c] = input.column(c).Int64At(r);
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t c = 0; c < num_vars; ++c) {
+      uint64_t x = static_cast<uint64_t>(row[c]);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      h = HashCombine(h, x ^ (x >> 31));
+    }
+    bool matched = false;
+    for (size_t o : by_hash[h]) {
+      if (!std::equal(rows[o].begin(), rows[o].begin() + num_vars,
+                      row.begin())) {
+        continue;
+      }
+      matched = true;
+      int64_t old_span = rows[o][num_vars + 1] - rows[o][num_vars];
+      int64_t new_span = row[num_vars + 1] - row[num_vars];
+      if (new_span < old_span) rows[o] = row;
+      break;
+    }
+    if (!matched) {
+      by_hash[h].push_back(rows.size());
+      rows.push_back(row);
+    }
+  }
+  rel::Table out(input.schema());
+  for (const std::vector<int64_t>& kept : rows) out.AppendInt64Row(kept);
+  return out;
+}
+
+}  // namespace wiclean

@@ -23,6 +23,51 @@ void Column::AppendFrom(const Column& other, size_t row) {
   }
 }
 
+void Column::Reserve(size_t n) {
+  if (type_ == DataType::kInt64) {
+    ints_.reserve(n);
+  } else {
+    strings_.reserve(n);
+  }
+  valid_.reserve(n);
+}
+
+void Column::AppendGather(const Column& src, const std::vector<uint32_t>& rows) {
+  WICLEAN_CHECK(type_ == src.type_);
+  Reserve(size() + rows.size());
+  if (type_ == DataType::kInt64) {
+    for (uint32_t r : rows) ints_.push_back(src.ints_[r]);
+  } else {
+    for (uint32_t r : rows) strings_.push_back(src.strings_[r]);
+  }
+  for (uint32_t r : rows) valid_.push_back(src.valid_[r]);
+}
+
+void Column::AppendNulls(size_t n) {
+  if (type_ == DataType::kInt64) {
+    ints_.resize(ints_.size() + n, 0);
+  } else {
+    strings_.resize(strings_.size() + n);
+  }
+  valid_.resize(valid_.size() + n, 0);
+}
+
+void Column::AppendColumn(const Column& src) {
+  WICLEAN_CHECK(type_ == src.type_);
+  if (type_ == DataType::kInt64) {
+    ints_.insert(ints_.end(), src.ints_.begin(), src.ints_.end());
+  } else {
+    strings_.insert(strings_.end(), src.strings_.begin(), src.strings_.end());
+  }
+  valid_.insert(valid_.end(), src.valid_.begin(), src.valid_.end());
+}
+
+void Column::AppendInt64Bulk(const std::vector<int64_t>& values) {
+  WICLEAN_CHECK(type_ == DataType::kInt64);
+  ints_.insert(ints_.end(), values.begin(), values.end());
+  valid_.resize(valid_.size() + values.size(), 1);
+}
+
 Value Column::ValueAt(size_t row) const {
   if (IsNull(row)) return Value::Null();
   if (type_ == DataType::kInt64) return Value::Int64(ints_[row]);

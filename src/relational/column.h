@@ -50,6 +50,24 @@ class Column {
   /// Copies row `row` of `other` (same type) onto the end of this column.
   void AppendFrom(const Column& other, size_t row);
 
+  /// Pre-allocates storage for `n` total rows (payload + validity). Join
+  /// kernels call this with exact match counts before bulk output.
+  void Reserve(size_t n);
+
+  /// Appends src[rows[0]], src[rows[1]], ... in one pass — the bulk gather
+  /// used to build join/filter/dedup outputs without per-cell Value boxing.
+  /// `src` must have this column's type; duplicate indices are allowed.
+  void AppendGather(const Column& src, const std::vector<uint32_t>& rows);
+
+  /// Appends `n` null cells (bulk outer-join padding).
+  void AppendNulls(size_t n);
+
+  /// Appends every row of `src` (same type) — bulk AppendAll/Project path.
+  void AppendColumn(const Column& src);
+
+  /// Appends all of `values` as non-null cells; requires kInt64.
+  void AppendInt64Bulk(const std::vector<int64_t>& values);
+
   bool IsNull(size_t row) const { return valid_[row] == 0; }
 
   /// Typed accessors; undefined for nulls (returns the zero filler) — check
@@ -62,6 +80,10 @@ class Column {
 
   /// Raw int64 payload; only meaningful for kInt64 columns. Null slots hold 0.
   const std::vector<int64_t>& int64_data() const { return ints_; }
+
+  /// Raw validity mask (1 = non-null), one byte per row. Lets the columnar
+  /// kernels scan nullness contiguously alongside int64_data().
+  const std::vector<uint8_t>& validity() const { return valid_; }
 
  private:
   DataType type_;

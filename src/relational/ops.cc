@@ -1,28 +1,15 @@
 #include "relational/ops.h"
 
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "relational/join_hash_table.h"
 
 namespace wiclean::relational {
 namespace {
 
-// Hash of one cell; nulls get a fixed sentinel (they never *match*, but they
-// must hash consistently for dedup).
-uint64_t CellHash(const Column& col, size_t row) {
-  if (col.IsNull(row)) return 0x9ae16a3b2f90404fULL;
-  if (col.type() == DataType::kInt64) {
-    uint64_t x = static_cast<uint64_t>(col.Int64At(row));
-    // splitmix-style finalizer for avalanche on small ids.
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  }
-  return Fnv1a64(col.StringAt(row));
-}
-
-// SQL equality of two cells (false when either is null).
+// SQL equality of two cells (false when either is null). Used by the
+// nested-loop oracle, which deliberately stays row-at-a-time.
 bool CellsSqlEqual(const Column& a, size_t ra, const Column& b, size_t rb) {
   if (a.IsNull(ra) || b.IsNull(rb)) return false;
   if (a.type() != b.type()) return false;
@@ -63,7 +50,9 @@ Status ValidateSpec(const Table& left, const Table& right,
   return Status::OK();
 }
 
-// True iff the row pair satisfies the whole JoinSpec.
+// True iff the row pair satisfies the whole JoinSpec. Row-at-a-time; kept
+// for the nested-loop oracle (PM−join) only — the hash path uses
+// PairPredicate below.
 bool PairMatches(const Table& left, size_t lrow, const Table& right,
                  size_t rrow, const JoinSpec& spec) {
   for (const auto& [lc, rc] : spec.equal_cols) {
@@ -91,14 +80,88 @@ bool PairMatches(const Table& left, size_t lrow, const Table& right,
   return true;
 }
 
-uint64_t RowKeyHash(const Table& t, size_t row, const std::vector<size_t>& cols) {
-  uint64_t h = 1469598103934665603ULL;
-  for (size_t c : cols) h = HashCombine(h, CellHash(t.column(c), row));
-  return h;
-}
+// Columnar verifier for hash-probe candidates: resolves column payload
+// pointers and types once per join, so per-candidate work on int64 columns is
+// raw array compares (the realization-table fast path) instead of per-cell
+// dispatch through boxed Values.
+class PairPredicate {
+ public:
+  PairPredicate(const Table& left, const Table& right, const JoinSpec& spec)
+      : null_inequality_passes_(spec.null_inequality_passes) {
+    auto add = [&](std::vector<ColPair>* out,
+                   const std::pair<size_t, size_t>& p) {
+      const Column& lc = left.column(p.first);
+      const Column& rc = right.column(p.second);
+      ColPair cp;
+      cp.lc = &lc;
+      cp.rc = &rc;
+      cp.ints = lc.type() == DataType::kInt64;
+      if (cp.ints) {
+        cp.li = lc.int64_data().data();
+        cp.ri = rc.int64_data().data();
+      }
+      cp.lv = lc.validity().data();
+      cp.rv = rc.validity().data();
+      out->push_back(cp);
+    };
+    for (const auto& p : spec.equal_cols) add(&equal_, p);
+    for (const auto& p : spec.wildcard_equal_cols) add(&wildcard_, p);
+    for (const auto& p : spec.not_equal_cols) add(&not_equal_, p);
+  }
 
-// Hash-join core shared by inner and full-outer variants. `track_matches`
-// enables recording which rows on each side matched (for outer padding).
+  bool operator()(size_t l, size_t r) const {
+    // Equality columns: both cells are non-null here — null-keyed rows never
+    // enter the build side and are skipped on probe.
+    for (const ColPair& p : equal_) {
+      if (p.ints) {
+        if (p.li[l] != p.ri[r]) return false;
+      } else if (p.lc->StringAt(l) != p.rc->StringAt(r)) {
+        return false;
+      }
+    }
+    for (const ColPair& p : wildcard_) {
+      if (!p.lv[l] || !p.rv[r]) continue;  // wildcard: null matches
+      if (p.ints) {
+        if (p.li[l] != p.ri[r]) return false;
+      } else if (p.lc->StringAt(l) != p.rc->StringAt(r)) {
+        return false;
+      }
+    }
+    for (const ColPair& p : not_equal_) {
+      if (!p.lv[l] || !p.rv[r]) {
+        if (!null_inequality_passes_) return false;
+        continue;
+      }
+      if (p.ints) {
+        if (p.li[l] == p.ri[r]) return false;
+      } else if (p.lc->StringAt(l) == p.rc->StringAt(r)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct ColPair {
+    const Column* lc = nullptr;
+    const Column* rc = nullptr;
+    const int64_t* li = nullptr;
+    const int64_t* ri = nullptr;
+    const uint8_t* lv = nullptr;
+    const uint8_t* rv = nullptr;
+    bool ints = false;
+  };
+
+  std::vector<ColPair> equal_;
+  std::vector<ColPair> wildcard_;
+  std::vector<ColPair> not_equal_;
+  bool null_inequality_passes_;
+};
+
+// Hash-join core shared by inner and full-outer variants: flat
+// open-addressing build side, vectorized key extraction, bulk gathered
+// output. Matches for one left row are emitted in ascending right-row order,
+// so output is exactly NestedLoopJoin's (left-major) order.
 struct HashJoinResult {
   Table output;
   std::vector<uint8_t> left_matched;
@@ -119,45 +182,47 @@ Result<HashJoinResult> HashJoinCore(const Table& left, const Table& right,
     rkeys.push_back(rc);
   }
 
-  // Build on the right input: hash(keys) -> row indices.
-  std::unordered_multimap<uint64_t, size_t> build;
-  build.reserve(right.num_rows() * 2);
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    // Rows with a null key can never match; skip them in the build so probes
-    // stay cheap. They are still padded by the outer variant via
-    // right_matched.
-    bool has_null_key = false;
-    for (size_t c : rkeys) {
-      if (right.column(c).IsNull(r)) {
-        has_null_key = true;
-        break;
-      }
+  // Build on the right input: one combined hash per row, computed columnar,
+  // then a flat table mapping hash -> ascending row chain. Rows with a null
+  // key can never match and are skipped at build/probe time.
+  std::vector<uint64_t> rhash, lhash;
+  std::vector<uint8_t> rvalid, lvalid;
+  HashRowsForKeys(right, rkeys, &rhash, &rvalid);
+  HashRowsForKeys(left, lkeys, &lhash, &lvalid);
+  JoinHashTable build;
+  build.Build(rhash.data(), rvalid.data(), right.num_rows());
+
+  PairPredicate matches(left, right, spec);
+  std::vector<uint32_t> lrows, rrows;
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    if (!lvalid[l]) continue;
+    for (uint32_t r = build.Probe(lhash[l]); r != kNoRow; r = build.Next(r)) {
+      if (!matches(l, r)) continue;
+      lrows.push_back(static_cast<uint32_t>(l));
+      rrows.push_back(r);
     }
-    if (!has_null_key) build.emplace(RowKeyHash(right, r, rkeys), r);
   }
 
   HashJoinResult result{Table(ConcatSchemas(left.schema(), right.schema())),
                         {},
                         {}};
+  result.output.AppendConcatGather(left, lrows, right, rrows);
   if (track_matches) {
     result.left_matched.assign(left.num_rows(), 0);
     result.right_matched.assign(right.num_rows(), 0);
-  }
-
-  for (size_t l = 0; l < left.num_rows(); ++l) {
-    uint64_t h = RowKeyHash(left, l, lkeys);
-    auto [lo, hi] = build.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-      size_t r = it->second;
-      if (!PairMatches(left, l, right, r, spec)) continue;
-      result.output.AppendConcatRows(left, l, right, r);
-      if (track_matches) {
-        result.left_matched[l] = 1;
-        result.right_matched[r] = 1;
-      }
-    }
+    for (uint32_t l : lrows) result.left_matched[l] = 1;
+    for (uint32_t r : rrows) result.right_matched[r] = 1;
   }
   return result;
+}
+
+// Indices in [0, n) whose matched flag is 0, for bulk outer-join padding.
+std::vector<uint32_t> UnmatchedRows(const std::vector<uint8_t>& matched) {
+  std::vector<uint32_t> rows;
+  for (size_t i = 0; i < matched.size(); ++i) {
+    if (!matched[i]) rows.push_back(static_cast<uint32_t>(i));
+  }
+  return rows;
 }
 
 }  // namespace
@@ -198,43 +263,37 @@ Result<Table> FullOuterJoin(const Table& left, const Table& right,
     left_matched = std::move(core.left_matched);
     right_matched = std::move(core.right_matched);
   } else {
-    // Pure theta join: exhaustive pairing.
+    // Pure theta join: exhaustive pairing (the Algorithm 3 ablation
+    // baseline), with bulk gathered output.
+    std::vector<uint32_t> lrows, rrows;
     for (size_t l = 0; l < left.num_rows(); ++l) {
       for (size_t r = 0; r < right.num_rows(); ++r) {
         if (PairMatches(left, l, right, r, spec)) {
-          out.AppendConcatRows(left, l, right, r);
+          lrows.push_back(static_cast<uint32_t>(l));
+          rrows.push_back(static_cast<uint32_t>(r));
           left_matched[l] = 1;
           right_matched[r] = 1;
         }
       }
     }
+    out.AppendConcatGather(left, lrows, right, rrows);
   }
 
-  // Pad unmatched left rows with nulls on the right...
-  for (size_t l = 0; l < left.num_rows(); ++l) {
-    if (left_matched[l]) continue;
-    std::vector<Value> row = left.RowValues(l);
-    row.resize(out.num_columns(), Value::Null());
-    out.AppendRow(row);
-  }
-  // ...and unmatched right rows with nulls on the left.
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    if (right_matched[r]) continue;
-    std::vector<Value> row(left.num_columns(), Value::Null());
-    std::vector<Value> rvals = right.RowValues(r);
-    row.insert(row.end(), rvals.begin(), rvals.end());
-    out.AppendRow(row);
-  }
+  // Pad unmatched left rows with nulls on the right, then unmatched right
+  // rows with nulls on the left — bulk gathers, no per-cell boxing.
+  out.AppendGatherPadded(left, UnmatchedRows(left_matched), 0);
+  out.AppendGatherPadded(right, UnmatchedRows(right_matched),
+                         left.num_columns());
   return out;
 }
 
 Table Filter(const Table& input,
              const std::function<bool(const Table&, size_t)>& keep) {
-  Table out(input.schema());
+  std::vector<uint32_t> rows;
   for (size_t r = 0; r < input.num_rows(); ++r) {
-    if (keep(input, r)) out.AppendRowFrom(input, r);
+    if (keep(input, r)) rows.push_back(static_cast<uint32_t>(r));
   }
-  return out;
+  return input.GatherRows(rows);
 }
 
 Table FilterRowsWithNull(const Table& input) {
@@ -267,39 +326,41 @@ Result<Schema> ProjectedSchema(const Table& input,
 Result<Table> Project(const Table& input, const std::vector<size_t>& cols,
                       const std::vector<std::string>& names) {
   WICLEAN_ASSIGN_OR_RETURN(Schema schema, ProjectedSchema(input, cols, names));
-  Table out(schema);
-  std::vector<Value> row(cols.size());
-  for (size_t r = 0; r < input.num_rows(); ++r) {
-    for (size_t i = 0; i < cols.size(); ++i) {
-      row[i] = input.column(cols[i]).ValueAt(r);
-    }
-    out.AppendRow(row);
+  if (cols.empty()) {
+    // Degenerate zero-column projection: preserve the row count.
+    Table out(schema);
+    for (size_t r = 0; r < input.num_rows(); ++r) out.AppendRow({});
+    return out;
   }
-  return out;
+  // Whole-column copies — no per-cell boxing.
+  std::vector<Column> out_cols;
+  out_cols.reserve(cols.size());
+  for (size_t c : cols) out_cols.push_back(input.column(c));
+  return Table::FromColumns(std::move(schema), std::move(out_cols));
 }
 
 Result<Table> DistinctProject(const Table& input,
                               const std::vector<size_t>& cols,
                               const std::vector<std::string>& names) {
   WICLEAN_ASSIGN_OR_RETURN(Schema schema, ProjectedSchema(input, cols, names));
-  Table out(schema);
 
-  // hash -> candidate output rows with that hash (collision chain).
-  std::unordered_multimap<uint64_t, size_t> seen;
-  seen.reserve(input.num_rows() * 2);
+  // Group rows by hash over the projected columns (nulls hash as a fixed
+  // sentinel so null == null for dedup), then keep each row iff no earlier
+  // structurally-equal row exists in its hash chain. Chains iterate in
+  // ascending row order, so "first occurrence" semantics are preserved.
+  std::vector<uint64_t> hashes;
+  HashRowsForKeys(input, cols, &hashes, nullptr);
+  JoinHashTable groups;
+  groups.Build(hashes.data(), nullptr, input.num_rows());
 
-  std::vector<size_t> all_out_cols(cols.size());
-  for (size_t i = 0; i < cols.size(); ++i) all_out_cols[i] = i;
-
+  std::vector<uint32_t> keep;
   for (size_t r = 0; r < input.num_rows(); ++r) {
-    uint64_t h = RowKeyHash(input, r, cols);
     bool duplicate = false;
-    auto [lo, hi] = seen.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-      size_t o = it->second;
+    for (uint32_t o = groups.Probe(hashes[r]); o != kNoRow && o < r;
+         o = groups.Next(o)) {
       bool same = true;
-      for (size_t i = 0; i < cols.size(); ++i) {
-        if (!CellsStructEqual(out.column(i), o, input.column(cols[i]), r)) {
+      for (size_t c : cols) {
+        if (!CellsStructEqual(input.column(c), o, input.column(c), r)) {
           same = false;
           break;
         }
@@ -309,15 +370,17 @@ Result<Table> DistinctProject(const Table& input,
         break;
       }
     }
-    if (duplicate) continue;
-    size_t new_row = out.num_rows();
-    std::vector<Value> row;
-    row.reserve(cols.size());
-    for (size_t c : cols) row.push_back(input.column(c).ValueAt(r));
-    out.AppendRow(row);
-    seen.emplace(h, new_row);
+    if (!duplicate) keep.push_back(static_cast<uint32_t>(r));
   }
-  return out;
+
+  std::vector<Column> out_cols;
+  out_cols.reserve(cols.size());
+  for (size_t c : cols) {
+    Column col(input.column(c).type());
+    col.AppendGather(input.column(c), keep);
+    out_cols.push_back(std::move(col));
+  }
+  return Table::FromColumns(std::move(schema), std::move(out_cols));
 }
 
 Result<size_t> CountDistinct(const Table& input, size_t col) {
@@ -349,7 +412,7 @@ Status AppendAll(Table* dst, const Table& src) {
       return Status::InvalidArgument("AppendAll: column type mismatch");
     }
   }
-  for (size_t r = 0; r < src.num_rows(); ++r) dst->AppendRowFrom(src, r);
+  dst->AppendAllRows(src);
   return Status::OK();
 }
 

@@ -42,6 +42,69 @@ void Table::AppendConcatRows(const Table& left, size_t lrow, const Table& right,
   ++num_rows_;
 }
 
+Table Table::FromColumns(Schema schema, std::vector<Column> columns) {
+  Table out(Schema{});
+  WICLEAN_CHECK(schema.num_fields() == columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    WICLEAN_CHECK(columns[i].type() == schema.field(i).type);
+    WICLEAN_CHECK(columns[i].size() == columns[0].size());
+  }
+  out.schema_ = std::move(schema);
+  out.num_rows_ = columns.empty() ? 0 : columns[0].size();
+  out.columns_ = std::move(columns);
+  return out;
+}
+
+void Table::ReserveRows(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+Table Table::GatherRows(const std::vector<uint32_t>& rows) const {
+  Table out(schema_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out.columns_[i].AppendGather(columns_[i], rows);
+  }
+  out.num_rows_ = rows.size();
+  return out;
+}
+
+void Table::AppendAllRows(const Table& other) {
+  WICLEAN_CHECK(other.num_columns() == num_columns());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendColumn(other.columns_[i]);
+  }
+  num_rows_ += other.num_rows_;
+}
+
+void Table::AppendConcatGather(const Table& left,
+                               const std::vector<uint32_t>& lrows,
+                               const Table& right,
+                               const std::vector<uint32_t>& rrows) {
+  WICLEAN_CHECK(left.num_columns() + right.num_columns() == num_columns());
+  WICLEAN_CHECK(lrows.size() == rrows.size());
+  for (size_t i = 0; i < left.num_columns(); ++i) {
+    columns_[i].AppendGather(left.columns_[i], lrows);
+  }
+  for (size_t i = 0; i < right.num_columns(); ++i) {
+    columns_[left.num_columns() + i].AppendGather(right.columns_[i], rrows);
+  }
+  num_rows_ += lrows.size();
+}
+
+void Table::AppendGatherPadded(const Table& src,
+                               const std::vector<uint32_t>& rows,
+                               size_t col_offset) {
+  WICLEAN_CHECK(col_offset + src.num_columns() <= num_columns());
+  for (size_t i = 0; i < num_columns(); ++i) {
+    if (i >= col_offset && i < col_offset + src.num_columns()) {
+      columns_[i].AppendGather(src.columns_[i - col_offset], rows);
+    } else {
+      columns_[i].AppendNulls(rows.size());
+    }
+  }
+  num_rows_ += rows.size();
+}
+
 std::vector<Value> Table::RowValues(size_t row) const {
   std::vector<Value> out;
   out.reserve(columns_.size());

@@ -20,6 +20,12 @@ class Table {
   /// Creates an empty table with the given schema.
   explicit Table(Schema schema);
 
+  /// Builds a table directly from whole columns (moved in). Column types must
+  /// match `schema` positionally and all columns must have equal sizes. The
+  /// bulk construction path for Project and the columnar kernels — no per-row
+  /// appends.
+  static Table FromColumns(Schema schema, std::vector<Column> columns);
+
   const Schema& schema() const { return schema_; }
   size_t num_columns() const { return columns_.size(); }
   size_t num_rows() const { return num_rows_; }
@@ -42,6 +48,30 @@ class Table {
   /// outputs whose schema is left ++ right).
   void AppendConcatRows(const Table& left, size_t lrow, const Table& right,
                         size_t rrow);
+
+  /// Pre-allocates every column for `n` total rows.
+  void ReserveRows(size_t n);
+
+  /// Returns a new table (same schema) containing rows `rows` of this table,
+  /// in the given order; duplicate indices are allowed. Bulk columnar copy —
+  /// no Value boxing.
+  Table GatherRows(const std::vector<uint32_t>& rows) const;
+
+  /// Appends every row of `other` (same positional column types) in bulk.
+  void AppendAllRows(const Table& other);
+
+  /// Bulk join-output construction: appends, for each i, the concatenation
+  /// of left[lrows[i]] and right[rrows[i]]. This table's schema must be
+  /// left ++ right; output columns are reserved from the match count.
+  void AppendConcatGather(const Table& left, const std::vector<uint32_t>& lrows,
+                          const Table& right,
+                          const std::vector<uint32_t>& rrows);
+
+  /// Bulk outer-join padding: appends `rows.size()` rows where the columns
+  /// [col_offset, col_offset + src.num_columns()) hold the gathered rows of
+  /// `src` and every other column is null.
+  void AppendGatherPadded(const Table& src, const std::vector<uint32_t>& rows,
+                          size_t col_offset);
 
   /// Boxed row accessor (for tests/printing).
   std::vector<Value> RowValues(size_t row) const;

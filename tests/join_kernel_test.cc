@@ -1,0 +1,463 @@
+// Differential tests for the columnar join kernels and the fused
+// realization-join operator: the flat-hash-table HashJoin must agree with the
+// nested-loop oracle row for row, with the preserved multimap reference
+// implementation as a bag, and the fused JoinRealizations / flat
+// DedupKeepTightest must be byte-identical to the unfused compositions they
+// replaced — including end-to-end MineWindow output on a synthetic domain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/miner.h"
+#include "core/realization_join.h"
+#include "relational/ops.h"
+#include "relational/reference_join.h"
+#include "relational/table.h"
+#include "synth/synthesizer.h"
+
+namespace wiclean {
+namespace {
+
+namespace rel = ::wiclean::relational;
+
+// Mixed-type table: two int64 columns, one string column, one more int64 —
+// each cell null with probability null_pct/100.
+rel::Table RandomMixedTable(Rng* rng, size_t rows, int64_t domain,
+                            uint64_t null_pct) {
+  rel::Schema schema;
+  schema.AddField(rel::Field{"a", rel::DataType::kInt64});
+  schema.AddField(rel::Field{"b", rel::DataType::kInt64});
+  schema.AddField(rel::Field{"s", rel::DataType::kString});
+  schema.AddField(rel::Field{"c", rel::DataType::kInt64});
+  rel::Table t(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<rel::Value> row;
+    for (size_t c = 0; c < 4; ++c) {
+      if (rng->NextBelow(100) < null_pct) {
+        row.push_back(rel::Value::Null());
+      } else if (c == 2) {
+        row.push_back(rel::Value::String(
+            "s" + std::to_string(rng->NextBelow(domain))));
+      } else {
+        row.push_back(rel::Value::Int64(
+            static_cast<int64_t>(rng->NextBelow(domain))));
+      }
+    }
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+// Row renderings in table order (exact, order-sensitive comparison).
+std::vector<std::string> RowList(const rel::Table& t) {
+  std::vector<std::string> rows;
+  rows.reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::string key;
+    for (const rel::Value& v : t.RowValues(r)) key += v.ToString() + "|";
+    rows.push_back(std::move(key));
+  }
+  return rows;
+}
+
+std::vector<std::string> SortedRowList(const rel::Table& t) {
+  std::vector<std::string> rows = RowList(t);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// The join specs exercised against every random table pair: int64 and string
+// equality keys, inequalities, wildcards, and the null-tolerant mode.
+std::vector<rel::JoinSpec> SpecZoo() {
+  std::vector<rel::JoinSpec> specs;
+  rel::JoinSpec s;
+  s.equal_cols = {{0, 0}};
+  specs.push_back(s);
+  s.equal_cols = {{0, 0}, {1, 1}};
+  specs.push_back(s);
+  s.equal_cols = {{2, 2}};  // string key
+  specs.push_back(s);
+  s.equal_cols = {{0, 0}, {2, 2}};  // mixed int64 + string key
+  specs.push_back(s);
+  s = rel::JoinSpec{};
+  s.equal_cols = {{0, 0}};
+  s.not_equal_cols = {{1, 1}, {3, 3}};
+  specs.push_back(s);
+  s.null_inequality_passes = true;
+  specs.push_back(s);
+  s = rel::JoinSpec{};
+  s.equal_cols = {{0, 0}};
+  s.wildcard_equal_cols = {{1, 1}, {2, 2}};
+  specs.push_back(s);
+  s.not_equal_cols = {{3, 3}};
+  specs.push_back(s);
+  return specs;
+}
+
+struct KernelCase {
+  uint64_t seed;
+  size_t left_rows;
+  size_t right_rows;
+  int64_t domain;
+  uint64_t null_pct;
+};
+
+class JoinKernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(JoinKernelTest, HashJoinMatchesNestedLoopExactly) {
+  const KernelCase& c = GetParam();
+  Rng rng(c.seed);
+  rel::Table left = RandomMixedTable(&rng, c.left_rows, c.domain, c.null_pct);
+  rel::Table right =
+      RandomMixedTable(&rng, c.right_rows, c.domain, c.null_pct);
+  for (const rel::JoinSpec& spec : SpecZoo()) {
+    Result<rel::Table> h = rel::HashJoin(left, right, spec);
+    Result<rel::Table> n = rel::NestedLoopJoin(left, right, spec);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(n.ok());
+    // The columnar hash join emits matches per left row in ascending right
+    // row order, so it must reproduce nested-loop output *positionally*.
+    EXPECT_EQ(RowList(*h), RowList(*n)) << "seed " << c.seed;
+  }
+}
+
+TEST_P(JoinKernelTest, HashJoinMatchesMultimapReferenceAsBag) {
+  const KernelCase& c = GetParam();
+  Rng rng(c.seed ^ 0x1234abcd);
+  rel::Table left = RandomMixedTable(&rng, c.left_rows, c.domain, c.null_pct);
+  rel::Table right =
+      RandomMixedTable(&rng, c.right_rows, c.domain, c.null_pct);
+  for (const rel::JoinSpec& spec : SpecZoo()) {
+    Result<rel::Table> h = rel::HashJoin(left, right, spec);
+    Result<rel::Table> ref = rel::ReferenceHashJoin(left, right, spec);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(ref.ok());
+    // The old multimap build side has unspecified order within one probe, so
+    // compare as bags.
+    EXPECT_EQ(SortedRowList(*h), SortedRowList(*ref)) << "seed " << c.seed;
+  }
+}
+
+TEST_P(JoinKernelTest, FullOuterJoinMatchesExhaustivePath) {
+  const KernelCase& c = GetParam();
+  Rng rng(c.seed ^ 0x77);
+  rel::Table left = RandomMixedTable(&rng, c.left_rows, c.domain, c.null_pct);
+  rel::Table right =
+      RandomMixedTable(&rng, c.right_rows, c.domain, c.null_pct);
+  for (rel::JoinSpec spec : SpecZoo()) {
+    spec.prefer_nested_loop = false;
+    Result<rel::Table> fast = rel::FullOuterJoin(left, right, spec);
+    spec.prefer_nested_loop = true;
+    Result<rel::Table> slow = rel::FullOuterJoin(left, right, spec);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    // Both paths emit matches left-major with ascending right rows, then pad
+    // unmatched rows in input order — exact positional agreement.
+    EXPECT_EQ(RowList(*fast), RowList(*slow)) << "seed " << c.seed;
+  }
+}
+
+TEST_P(JoinKernelTest, DistinctProjectKeepsFirstOccurrences) {
+  const KernelCase& c = GetParam();
+  Rng rng(c.seed ^ 0xbeef);
+  rel::Table input = RandomMixedTable(&rng, c.left_rows, 3, c.null_pct);
+
+  std::vector<size_t> cols = {0, 2};
+  Result<rel::Table> fast = rel::DistinctProject(input, cols);
+  ASSERT_TRUE(fast.ok());
+
+  // Naive order-preserving reference: linear scan over kept rows with
+  // null == null semantics.
+  Result<rel::Table> projected = rel::Project(input, cols);
+  ASSERT_TRUE(projected.ok());
+  std::vector<std::string> keep;
+  for (const std::string& row : RowList(*projected)) {
+    if (std::find(keep.begin(), keep.end(), row) == keep.end()) {
+      keep.push_back(row);
+    }
+  }
+  EXPECT_EQ(RowList(*fast), keep) << "seed " << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, JoinKernelTest,
+    ::testing::Values(KernelCase{1, 0, 0, 5, 0},     // empty inputs
+                      KernelCase{2, 13, 0, 5, 10},   // empty build side
+                      KernelCase{3, 0, 13, 5, 10},   // empty probe side
+                      KernelCase{4, 40, 60, 7, 0},   // dense collisions
+                      KernelCase{5, 60, 40, 7, 25},  // heavy nulls
+                      KernelCase{6, 100, 100, 23, 10},
+                      KernelCase{7, 200, 150, 500, 5},  // sparse matches
+                      KernelCase{8, 77, 133, 3, 40}));
+
+// ---------------------------------------------------------------------------
+// Realization-table kernels.
+
+rel::Schema VarSchema(size_t num_vars, const char* prefix) {
+  rel::Schema schema;
+  for (size_t i = 0; i < num_vars; ++i) {
+    schema.AddField(rel::Field{prefix + std::to_string(i),
+                               rel::DataType::kInt64});
+  }
+  schema.AddField(rel::Field{"tmin", rel::DataType::kInt64});
+  schema.AddField(rel::Field{"tmax", rel::DataType::kInt64});
+  return schema;
+}
+
+rel::Table RandomRealizationTable(Rng* rng, size_t rows, size_t num_vars,
+                                  int64_t domain, int64_t horizon) {
+  rel::Table t(VarSchema(num_vars, "v"));
+  std::vector<int64_t> row(num_vars + 2);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < num_vars; ++c) {
+      row[c] = static_cast<int64_t>(rng->NextBelow(domain));
+    }
+    int64_t t0 = static_cast<int64_t>(rng->NextBelow(horizon));
+    int64_t t1 = t0 + static_cast<int64_t>(rng->NextBelow(horizon));
+    row[num_vars] = t0;
+    row[num_vars + 1] = t1;
+    t.AppendInt64Row(row);
+  }
+  return t;
+}
+
+rel::Table RandomActionTable(Rng* rng, size_t rows, int64_t domain,
+                             int64_t horizon) {
+  rel::Schema schema;
+  schema.AddField(rel::Field{"u", rel::DataType::kInt64});
+  schema.AddField(rel::Field{"v", rel::DataType::kInt64});
+  schema.AddField(rel::Field{"t", rel::DataType::kInt64});
+  rel::Table t(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    t.AppendInt64Row({static_cast<int64_t>(rng->NextBelow(domain)),
+                      static_cast<int64_t>(rng->NextBelow(domain)),
+                      static_cast<int64_t>(rng->NextBelow(horizon))});
+  }
+  return t;
+}
+
+// The unfused pipeline the fused operator replaced: nested-loop join (same
+// candidate order as the columnar hash join), row-at-a-time span recompute
+// and prune, then the preserved reference dedup.
+rel::Table OracleJoinRealizations(const rel::Table& left,
+                                 const rel::Table& right,
+                                 const RealizationJoinSpec& rspec) {
+  const size_t n = rspec.num_left_vars;
+  const bool fresh = rspec.glue_target_col < 0;
+  rel::JoinSpec spec;
+  spec.equal_cols.push_back({rspec.glue_source_col, 0});
+  if (!fresh) {
+    spec.equal_cols.push_back(
+        {static_cast<size_t>(rspec.glue_target_col), 1});
+  } else {
+    for (size_t k : rspec.distinct_from_target) {
+      spec.not_equal_cols.push_back({k, 1});
+    }
+  }
+  Result<rel::Table> joined = rel::NestedLoopJoin(left, right, spec);
+  EXPECT_TRUE(joined.ok());
+
+  const size_t out_vars = n + (fresh ? 1 : 0);
+  rel::Table realization(VarSchema(out_vars, "v"));
+  std::vector<int64_t> row(out_vars + 2);
+  for (size_t r = 0; r < joined->num_rows(); ++r) {
+    int64_t t = joined->column(n + 4).Int64At(r);
+    int64_t tmin = std::min(joined->column(n).Int64At(r), t);
+    int64_t tmax = std::max(joined->column(n + 1).Int64At(r), t);
+    if (tmax - tmin > rspec.max_span) continue;
+    for (size_t c = 0; c < n; ++c) row[c] = joined->column(c).Int64At(r);
+    if (fresh) row[n] = joined->column(n + 3).Int64At(r);
+    row[out_vars] = tmin;
+    row[out_vars + 1] = tmax;
+    realization.AppendInt64Row(row);
+  }
+  if (rspec.dedup_keep_tightest) {
+    realization = ReferenceDedupKeepTightest(realization, out_vars);
+  }
+  return realization;
+}
+
+struct RealizationCase {
+  uint64_t seed;
+  size_t left_rows;
+  size_t right_rows;
+  size_t num_vars;
+  int64_t domain;
+};
+
+class RealizationJoinTest : public ::testing::TestWithParam<RealizationCase> {
+};
+
+TEST_P(RealizationJoinTest, FusedMatchesUnfusedPipelineExactly) {
+  const RealizationCase& c = GetParam();
+  constexpr int64_t kHorizon = 1000;
+  Rng rng(c.seed);
+  rel::Table left =
+      RandomRealizationTable(&rng, c.left_rows, c.num_vars, c.domain,
+                             kHorizon);
+  rel::Table right =
+      RandomActionTable(&rng, c.right_rows, c.domain, kHorizon);
+
+  std::vector<RealizationJoinSpec> rspecs;
+  RealizationJoinSpec rspec;
+  rspec.num_left_vars = c.num_vars;
+  rspec.glue_source_col = 0;
+  // Fresh target with a distinctness constraint on every variable.
+  rspec.glue_target_col = -1;
+  for (size_t k = 0; k < c.num_vars; ++k) {
+    rspec.distinct_from_target.push_back(k);
+  }
+  rspecs.push_back(rspec);
+  // Fresh target, unconstrained.
+  rspec.distinct_from_target.clear();
+  rspecs.push_back(rspec);
+  // Glued target.
+  rspec.glue_target_col = static_cast<int>(c.num_vars - 1);
+  rspecs.push_back(rspec);
+
+  for (RealizationJoinSpec rs : rspecs) {
+    for (int64_t max_span :
+         {std::numeric_limits<int64_t>::max(), int64_t{800}, int64_t{50}}) {
+      for (bool dedup : {false, true}) {
+        rs.max_span = max_span;
+        rs.dedup_keep_tightest = dedup;
+        const size_t out_vars =
+            c.num_vars + (rs.glue_target_col < 0 ? 1 : 0);
+        Result<rel::Table> fused =
+            JoinRealizations(left, right, VarSchema(out_vars, "v"), rs);
+        ASSERT_TRUE(fused.ok());
+        rel::Table oracle = OracleJoinRealizations(left, right, rs);
+        EXPECT_EQ(RowList(*fused), RowList(oracle))
+            << "seed " << c.seed << " max_span " << max_span << " dedup "
+            << dedup << " glue_target " << rs.glue_target_col;
+      }
+    }
+  }
+}
+
+TEST_P(RealizationJoinTest, FlatDedupMatchesReferenceExactly) {
+  const RealizationCase& c = GetParam();
+  Rng rng(c.seed ^ 0xdead);
+  // Small domain forces many duplicate variable assignments.
+  rel::Table input =
+      RandomRealizationTable(&rng, c.left_rows * 4, c.num_vars, c.domain,
+                             200);
+  rel::Table fast = DedupKeepTightest(input, c.num_vars);
+  rel::Table ref = ReferenceDedupKeepTightest(input, c.num_vars);
+  EXPECT_EQ(RowList(fast), RowList(ref)) << "seed " << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Randomized, RealizationJoinTest,
+    ::testing::Values(RealizationCase{11, 0, 0, 2, 5},
+                      RealizationCase{12, 30, 0, 2, 4},
+                      RealizationCase{13, 0, 30, 3, 4},
+                      RealizationCase{14, 50, 80, 2, 4},
+                      RealizationCase{15, 120, 90, 3, 6},
+                      RealizationCase{16, 200, 200, 4, 8},
+                      RealizationCase{17, 150, 150, 2, 3}));
+
+// ---------------------------------------------------------------------------
+// End-to-end: the fused PM path must reproduce the PM−join ablation's mining
+// output exactly (patterns, frequencies, supports, in order) on a synthetic
+// soccer world — the "no silent behavior change" guarantee for the rewrite.
+
+std::vector<std::tuple<std::string, double, size_t>> Signature(
+    const std::vector<MinedPattern>& ps) {
+  std::vector<std::tuple<std::string, double, size_t>> out;
+  out.reserve(ps.size());
+  for (const MinedPattern& mp : ps) {
+    out.emplace_back(mp.pattern.CanonicalKey(), mp.frequency, mp.support);
+  }
+  return out;
+}
+
+TEST(MineWindowIdentityTest, FusedHashPathMatchesNestedLoopPath) {
+  SynthOptions o;
+  o.seed_entities = 30;
+  o.years = 1;
+  o.rng_seed = 21;
+  o.soccer = true;
+  o.background_entities = 60;
+  o.background_edit_rate = 2.0;
+  Result<SynthWorld> world = Synthesize(o);
+  ASSERT_TRUE(world.ok());
+
+  MinerOptions base;
+  base.frequency_threshold = 0.3;
+  base.max_pattern_actions = 4;
+
+  for (int week : {10, 16, 20}) {
+    TimeWindow window = world->WindowOf(week);
+    MinerOptions hash_opts = base;
+    hash_opts.join_engine = JoinEngineKind::kHashJoin;
+    MinerOptions loop_opts = base;
+    loop_opts.join_engine = JoinEngineKind::kNestedLoop;
+
+    PatternMiner hash_miner(world->registry.get(), &world->store, hash_opts);
+    PatternMiner loop_miner(world->registry.get(), &world->store, loop_opts);
+    Result<MineWindowResult> h =
+        hash_miner.MineWindow(world->types.soccer_player, window);
+    Result<MineWindowResult> n =
+        loop_miner.MineWindow(world->types.soccer_player, window);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(n.ok());
+
+    EXPECT_EQ(Signature(h->all_frequent), Signature(n->all_frequent))
+        << "week " << week;
+    EXPECT_EQ(Signature(h->most_specific), Signature(n->most_specific))
+        << "week " << week;
+    EXPECT_EQ(h->stats.candidates_considered, n->stats.candidates_considered)
+        << "week " << week;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Regression test for the MineFrequent timer accounting bug: the mine timer
+// used to be restarted *before* the ingest phase and read again after the
+// loop, so every loop ingest was double-counted as mining time and the two
+// counters could sum past the wall clock. Post-fix they are disjoint
+// sub-intervals of the measured wall time, so this bound can never flake.
+
+TEST(MinerTimerTest, IngestAndMineSecondsAreDisjoint) {
+  // Multiple domains force loop-phase type ingestion (clubs, films,
+  // parties... pulled in after the first expansion round), which is exactly
+  // the interval the old code counted twice.
+  SynthOptions o;
+  o.seed_entities = 400;
+  o.years = 1;
+  o.rng_seed = 33;
+  o.soccer = true;
+  o.cinema = true;
+  o.politics = true;
+  Result<SynthWorld> world = Synthesize(o);
+  ASSERT_TRUE(world.ok());
+
+  MinerOptions opts;
+  opts.frequency_threshold = 0.3;
+  opts.max_pattern_actions = 4;
+  PatternMiner miner(world->registry.get(), &world->store, opts);
+
+  TimeWindow window = world->WindowOf(16);
+  Timer wall;
+  Result<MineWindowResult> r =
+      miner.MineWindow(world->types.soccer_player, window);
+  double wall_seconds = wall.ElapsedSeconds();
+  ASSERT_TRUE(r.ok());
+
+  EXPECT_GT(r->stats.ingest_seconds, 0.0);
+  EXPECT_GT(r->stats.mine_seconds, 0.0);
+  // Each phase timer covers a distinct slice of the wall interval; their sum
+  // can only fall below it (bookkeeping outside both phases is untimed).
+  EXPECT_LE(r->stats.ingest_seconds + r->stats.mine_seconds,
+            wall_seconds + 1e-6);
+}
+
+}  // namespace
+}  // namespace wiclean
