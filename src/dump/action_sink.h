@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "dump/quarantine.h"
 #include "revision/action.h"
 #include "revision/revision_store.h"
 
@@ -14,6 +15,13 @@ namespace wiclean {
 /// per-page counter deltas that roll up into IngestStats. Produced by
 /// ParsePageActions (a pure function, safe to run concurrently across pages)
 /// and merged into an ActionSink strictly in `sequence` order.
+///
+/// Degraded-mode ingests (IngestOptions::on_error != kStrict) also use this
+/// struct as the skip channel: a page- or region-level fault produces a batch
+/// with `skipped = true` and no actions, and revision-level faults leave the
+/// page alive but bump `revisions_skipped`. Skip batches flow through the
+/// same ordered merge as real ones, which is what keeps counters and
+/// quarantine-record order deterministic at any worker count.
 struct PageActions {
   uint64_t sequence = 0;  // 0-based index of the page in its PageSource
   std::vector<Action> actions;  // page-chronological, diff order preserved
@@ -21,6 +29,12 @@ struct PageActions {
   bool known_page = false;      // title resolved against the registry
   size_t revisions = 0;         // revisions diffed on this page
   size_t unresolved_links = 0;  // link targets skipped as unregistered
+
+  bool skipped = false;          // page/region dropped whole (policy skip)
+  bool region_skip = false;      // skip is a raw byte region, not a parsed page
+  size_t revisions_skipped = 0;  // individual revisions dropped on this page
+  SkipCounts skipped_by_reason{};  // per-reason deltas (page + revision level)
+  std::vector<QuarantineRecord> quarantine;  // kQuarantine payloads, in order
 };
 
 /// Last stage of the ingestion pipeline. The pipeline guarantees Append is

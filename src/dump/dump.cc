@@ -1,6 +1,8 @@
 #include "dump/dump.h"
 
+#include <algorithm>
 #include <cctype>
+#include <sstream>
 
 #include "common/strings.h"
 #include "dump/xml_util.h"
@@ -37,7 +39,17 @@ Status DumpWriter::End() {
   return Status::OK();
 }
 
+std::string PageToXml(const DumpPage& page) {
+  std::ostringstream out;
+  DumpWriter writer(&out);
+  writer.WritePage(page);
+  return out.str();
+}
+
 namespace {
+
+/// Internal outcome of a resync scan (see StreamCursor::SkipToPageBoundary).
+enum class ResyncOutcome { kAtPage, kAtFooter, kEof };
 
 /// Minimal pull-style tokenizer over the reader's input stream. Tracks a
 /// cursor into a growing buffer; the buffer is compacted after each page so
@@ -58,18 +70,41 @@ class StreamCursor {
     return true;
   }
 
-  /// Like Consume but required: returns Corruption naming the token.
+  /// Like Consume but required. Classifies the failure: DataLoss when the
+  /// stream ended before the token could even be present (a truncated dump),
+  /// Corruption for a plain mismatch.
   Status Expect(std::string_view token) {
-    if (!Consume(token)) {
-      return Status::Corruption("dump parse error: expected '" +
-                                std::string(token) + "' near byte " +
-                                std::to_string(consumed_ + pos_));
+    if (Consume(token)) return Status::OK();
+    if (buffer_.size() - pos_ < token.size() && !Refill()) {
+      return Status::DataLoss("truncated dump at byte " +
+                              std::to_string(consumed_ + buffer_.size()) +
+                              ": expected '" + std::string(token) + "'");
     }
-    return Status::OK();
+    return Status::Corruption("dump parse error: expected '" +
+                              std::string(token) + "' near byte " +
+                              std::to_string(consumed_ + pos_));
   }
 
+  /// True when the stream ran out mid-`token`: what remains is a nonempty
+  /// proper prefix of it. Distinguishes a dump cut inside the token (DataLoss)
+  /// from one containing wrong bytes (Corruption) at a boundary where Expect's
+  /// short-buffer test cannot tell (the leftover may be longer than the token
+  /// it was compared against). Reads the stream to its end — error path only.
+  bool EndedInsideToken(std::string_view token) {
+    SkipWhitespace();
+    while (Refill()) {
+    }
+    std::string_view rest = std::string_view(buffer_).substr(pos_);
+    return !rest.empty() && rest.size() < token.size() &&
+           token.substr(0, rest.size()) == rest;
+  }
+
+  /// Total input length once the stream is exhausted (for DataLoss messages).
+  size_t StreamLength() const { return consumed_ + buffer_.size(); }
+
   /// Reads everything up to (not including) `delimiter`, consuming the
-  /// delimiter too. Corruption if the stream ends first.
+  /// delimiter too. DataLoss if the stream ends first (an unterminated
+  /// element means the input was cut mid-record).
   Result<std::string> ReadUntil(std::string_view delimiter) {
     for (;;) {
       size_t hit = buffer_.find(delimiter, pos_);
@@ -79,9 +114,66 @@ class StreamCursor {
         return out;
       }
       if (!Refill()) {
-        return Status::Corruption("dump parse error: unterminated element, "
-                                  "expected '" +
-                                  std::string(delimiter) + "'");
+        return Status::DataLoss("truncated dump at byte " +
+                                std::to_string(consumed_ + buffer_.size()) +
+                                ": unterminated element, expected '" +
+                                std::string(delimiter) + "'");
+      }
+    }
+  }
+
+  /// Degraded-mode recovery scan: consumes bytes — starting from the first
+  /// byte of the abandoned region (the current buffer start) — until the
+  /// next "<page>" or "</mediawiki>" token, which is left unconsumed. The
+  /// skipped bytes are captured into *info up to `max_raw` (the byte count
+  /// stays exact past the cap).
+  ResyncOutcome SkipToPageBoundary(ResyncInfo* info, size_t max_raw) {
+    static constexpr std::string_view kPageTok = "<page>";
+    static constexpr std::string_view kFooterTok = "</mediawiki>";
+    info->byte_offset = consumed_;
+    auto capture = [&](std::string_view bytes) {
+      info->skipped_bytes += bytes.size();
+      size_t room = max_raw > info->raw.size() ? max_raw - info->raw.size() : 0;
+      if (bytes.size() <= room) {
+        info->raw.append(bytes);
+      } else {
+        info->raw.append(bytes.substr(0, room));
+        info->raw_truncated = true;
+      }
+    };
+    // Fold the already-scanned prefix of the failed region into the capture,
+    // so the quarantined raw starts at the abandoned element's first byte
+    // and the boundary search cannot re-match tokens the parser already
+    // consumed.
+    capture(std::string_view(buffer_).substr(0, pos_));
+    consumed_ += pos_;
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+    for (;;) {
+      size_t hit_page = buffer_.find(kPageTok);
+      size_t hit_footer = buffer_.find(kFooterTok);
+      size_t hit = std::min(hit_page, hit_footer);
+      if (hit != std::string::npos) {
+        capture(std::string_view(buffer_).substr(0, hit));
+        consumed_ += hit;
+        buffer_.erase(0, hit);
+        return hit_page <= hit_footer ? ResyncOutcome::kAtPage
+                                      : ResyncOutcome::kAtFooter;
+      }
+      // Flush all but a token-length tail: a boundary token may straddle the
+      // next refill, and the flush keeps memory bounded while skipping an
+      // arbitrarily large damaged region.
+      if (size_t keep = kFooterTok.size() - 1; buffer_.size() > keep) {
+        size_t flush = buffer_.size() - keep;
+        capture(std::string_view(buffer_).substr(0, flush));
+        consumed_ += flush;
+        buffer_.erase(0, flush);
+      }
+      if (!Refill()) {
+        capture(buffer_);
+        consumed_ += buffer_.size();
+        buffer_.clear();
+        return ResyncOutcome::kEof;
       }
     }
   }
@@ -162,17 +254,33 @@ Result<DumpRevision> ParseRevision(StreamCursor* cur) {
   return rev;
 }
 
+/// Parses everything of a <page> element after its title. Split out so the
+/// caller can annotate truncation errors with the page title.
+Status ParsePageBody(StreamCursor* cur, DumpPage* page) {
+  WICLEAN_ASSIGN_OR_RETURN(page->page_id, ParseXmlInt(cur, "<id>", "</id>"));
+  while (cur->Consume("<revision>")) {
+    WICLEAN_ASSIGN_OR_RETURN(DumpRevision rev, ParseRevision(cur));
+    page->revisions.push_back(std::move(rev));
+  }
+  WICLEAN_RETURN_IF_ERROR(cur->Expect("</page>"));
+  return Status::OK();
+}
+
 Result<DumpPage> ParsePageElement(StreamCursor* cur) {
   DumpPage page;
   WICLEAN_RETURN_IF_ERROR(cur->Expect("<title>"));
   WICLEAN_ASSIGN_OR_RETURN(std::string title, cur->ReadUntil("</title>"));
   page.title = XmlUnescape(title);
-  WICLEAN_ASSIGN_OR_RETURN(page.page_id, ParseXmlInt(cur, "<id>", "</id>"));
-  while (cur->Consume("<revision>")) {
-    WICLEAN_ASSIGN_OR_RETURN(DumpRevision rev, ParseRevision(cur));
-    page.revisions.push_back(std::move(rev));
+  Status status = ParsePageBody(cur, &page);
+  if (!status.ok()) {
+    // A truncation detected once the title is known names the page it cut:
+    // "truncated dump at byte N ..., inside page 'title'".
+    if (status.code() == StatusCode::kDataLoss) {
+      return Status::DataLoss(status.message() + ", inside page '" +
+                              page.title + "'");
+    }
+    return status;
   }
-  WICLEAN_RETURN_IF_ERROR(cur->Expect("</page>"));
   return page;
 }
 
@@ -215,12 +323,45 @@ Result<bool> DumpPageStream::Next(DumpPage* page) {
     return false;
   }
   Status status = s.cursor.Expect("<page>");
-  if (!status.ok()) return fail(std::move(status));
+  if (!status.ok()) {
+    // A stream cut inside the closing footer leaves a "</mediawik"-style tail
+    // that is long enough to be compared against "<page>" and mismatch as
+    // Corruption; reclassify it as the truncation it is.
+    if (status.code() == StatusCode::kCorruption &&
+        s.cursor.EndedInsideToken("</mediawiki>")) {
+      status = Status::DataLoss("truncated dump at byte " +
+                                std::to_string(s.cursor.StreamLength()) +
+                                ": expected '</mediawiki>'");
+    }
+    return fail(std::move(status));
+  }
   Result<DumpPage> parsed = ParsePageElement(&s.cursor);
   if (!parsed.ok()) return fail(parsed.status());
   *page = std::move(parsed).value();
   s.cursor.Compact();
   return true;
+}
+
+Result<bool> DumpPageStream::Resync(ResyncInfo* info, size_t max_raw_bytes) {
+  Impl& s = *impl_;
+  *info = ResyncInfo();
+  if (s.error.ok()) {
+    return Status::FailedPrecondition(
+        "Resync called without a pending dump parse error");
+  }
+  s.error = Status::OK();
+  // A dump whose header was damaged resyncs like any other region: resume at
+  // the next page boundary without re-demanding <mediawiki>.
+  s.header_consumed = true;
+  switch (s.cursor.SkipToPageBoundary(info, max_raw_bytes)) {
+    case ResyncOutcome::kEof:
+      s.finished = true;
+      return false;
+    case ResyncOutcome::kAtPage:
+    case ResyncOutcome::kAtFooter:
+      return true;
+  }
+  return Status::Internal("unreachable resync outcome");
 }
 
 Status DumpReader::ReadAll(std::istream* in, const PageCallback& on_page) {

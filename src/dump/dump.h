@@ -62,11 +62,26 @@ class DumpWriter {
   bool begun_ = false;
 };
 
+/// Serializes one page as its dump-XML element (what DumpWriter would emit
+/// for it, without the <mediawiki> envelope). Used as the canonical raw form
+/// when quarantining a page the worker stage rejected.
+std::string PageToXml(const DumpPage& page);
+
+/// What a Resync() call skipped over: the raw bytes between the point of the
+/// parse error and the next page boundary, for quarantine/triage.
+struct ResyncInfo {
+  std::string raw;           // skipped bytes, capped by the caller's limit
+  bool raw_truncated = false;  // raw hit the cap; skipped_bytes is still exact
+  size_t skipped_bytes = 0;  // total bytes consumed by the resync
+  uint64_t byte_offset = 0;  // absolute offset where the skipped region began
+};
+
 /// Pull-style streaming dump parser: yields one <page> element per Next()
 /// call, keeping memory proportional to a single page rather than the dump.
 /// The parser accepts the subset of XML that DumpWriter emits (plus arbitrary
-/// whitespace) and reports malformed input as Corruption with a description
-/// of what was expected.
+/// whitespace) and reports malformed input as Corruption — or DataLoss when
+/// the stream simply ended mid-record ("truncated dump at byte N, inside
+/// page 'title'") — with a description of what was expected.
 ///
 /// This is the reader half of the ingestion pipeline's PageSource stage; the
 /// pull shape (vs. the callback-based DumpReader below) is what lets a
@@ -82,9 +97,24 @@ class DumpPageStream {
 
   /// Parses the next page into *page. Returns true on success, false at
   /// clean end of dump (</mediawiki> seen and nothing but whitespace after),
-  /// or Corruption on malformed input. After false or an error, further
-  /// calls keep returning the same outcome.
+  /// or Corruption/DataLoss on malformed input. After false or an error,
+  /// further calls keep returning the same outcome — unless Resync() below
+  /// clears the error by skipping past the damaged region.
   [[nodiscard]] Result<bool> Next(DumpPage* page);
+
+  /// Degraded-mode recovery: after Next() returned an error, discards input
+  /// forward to the next plausible page boundary (the next "<page>" open tag
+  /// or the "</mediawiki>" footer — page text is XML-escaped by DumpWriter,
+  /// so neither token can occur inside well-formed content) and clears the
+  /// sticky error so Next() can continue. The bytes of the abandoned region,
+  /// from the start of the failed element, are captured into *info (capped
+  /// at `max_raw_bytes`).
+  ///
+  /// Returns true when a boundary was found (the stream is parseable again),
+  /// false when the damage ran to end of input (the stream is finished).
+  /// FailedPrecondition if no parse error is pending.
+  [[nodiscard]] Result<bool> Resync(ResyncInfo* info,
+                                    size_t max_raw_bytes = 1 << 20);
 
  private:
   struct Impl;

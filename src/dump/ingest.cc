@@ -1,35 +1,112 @@
 #include "dump/ingest.h"
 
 #include <cstdio>
+#include <unordered_set>
+#include <utility>
 
 #include "dump/page_source.h"
 #include "dump/pipeline.h"
 #include "wikitext/infobox.h"
 
 namespace wiclean {
+namespace {
+
+// Moves `raw` into the record, enforcing the quarantine raw-byte cap.
+void AttachRaw(std::string raw, QuarantineRecord* record) {
+  if (raw.size() > kMaxQuarantineRawBytes) {
+    raw.resize(kMaxQuarantineRawBytes);
+    record->raw_truncated = true;
+  }
+  record->raw = std::move(raw);
+}
+
+// Maps a DiffRevisions failure to its skip reason: only the nesting-depth
+// guard surfaces as kResourceExhausted; everything else is corrupt wikitext.
+SkipReason DiffSkipReason(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted
+             ? SkipReason::kNestingDepth
+             : SkipReason::kWikitextCorruption;
+}
+
+}  // namespace
 
 std::string IngestStats::ToString() const {
   char timing[96];
   std::snprintf(timing, sizeof(timing),
                 " read=%.3fs parse=%.3fs merge=%.3fs", read_seconds,
                 parse_seconds, merge_seconds);
-  return "pages=" + std::to_string(pages) +
-         " revisions=" + std::to_string(revisions) +
-         " actions=" + std::to_string(actions) +
-         " unknown_pages=" + std::to_string(unknown_pages) +
-         " unresolved_links=" + std::to_string(unresolved_links) + timing;
+  std::string out = "pages=" + std::to_string(pages) +
+                    " revisions=" + std::to_string(revisions) +
+                    " actions=" + std::to_string(actions) +
+                    " unknown_pages=" + std::to_string(unknown_pages) +
+                    " unresolved_links=" + std::to_string(unresolved_links);
+  // The skip section only appears when something was skipped, so clean-run
+  // output is byte-identical to the pre-policy format.
+  if (pages_skipped != 0 || revisions_skipped != 0 || regions_skipped != 0 ||
+      quarantined != 0) {
+    out += " pages_skipped=" + std::to_string(pages_skipped) +
+           " revisions_skipped=" + std::to_string(revisions_skipped) +
+           " regions_skipped=" + std::to_string(regions_skipped) +
+           " quarantined=" + std::to_string(quarantined);
+    const std::string reasons = FormatSkipCounts(skipped_by_reason);
+    if (!reasons.empty()) out += " [" + reasons + "]";
+  }
+  out += timing;
+  return out;
 }
 
 Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
                                      const EntityRegistry& registry,
                                      const IngestOptions& options) {
+  const bool degraded = options.on_error != ErrorPolicy::kStrict;
+  const bool quarantining = options.on_error == ErrorPolicy::kQuarantine;
+  const IngestLimits& limits = options.limits;
+
+  // Replaces the batch wholesale: a page-level fault drops the page as a
+  // unit, so any actions or revision-level accounting gathered so far is
+  // discarded in favor of one skip record.
+  auto skip_page = [&](SkipReason reason, std::string detail) {
+    PageActions skip;
+    skip.sequence = sequence;
+    skip.skipped = true;
+    skip.skipped_by_reason[static_cast<size_t>(reason)] = 1;
+    if (quarantining) {
+      QuarantineRecord record;
+      record.reason = reason;
+      record.sequence = sequence;
+      record.title = page.title;
+      record.detail = std::move(detail);
+      AttachRaw(PageToXml(page), &record);
+      skip.quarantine.push_back(std::move(record));
+    }
+    return skip;
+  };
+
   PageActions batch;
   batch.sequence = sequence;
 
+  auto skip_revision = [&](const DumpRevision& rev, SkipReason reason,
+                           std::string detail) {
+    ++batch.revisions_skipped;
+    ++batch.skipped_by_reason[static_cast<size_t>(reason)];
+    if (quarantining) {
+      QuarantineRecord record;
+      record.reason = reason;
+      record.sequence = sequence;
+      record.title = page.title;
+      record.revision_id = rev.revision_id;
+      record.detail = std::move(detail);
+      AttachRaw(rev.text, &record);
+      batch.quarantine.push_back(std::move(record));
+    }
+  };
+
   Result<EntityId> subject = registry.FindByName(page.title);
   if (!subject.ok() && options.strict_pages) {
-    return Status::NotFound("dump page '" + page.title +
-                            "' is not a registered entity");
+    Status error = Status::NotFound("dump page '" + page.title +
+                                    "' is not a registered entity");
+    if (!degraded) return error;
+    return skip_page(SkipReason::kUnknownPage, std::string(error.message()));
   }
   if (!subject.ok()) {
     return batch;  // known_page stays false; the page is skipped
@@ -37,11 +114,74 @@ Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
   const EntityId subject_id = subject.value();
   batch.known_page = true;
 
+  if (limits.max_revisions_per_page > 0 &&
+      page.revisions.size() > limits.max_revisions_per_page) {
+    Status error = Status::ResourceExhausted(
+        "page '" + page.title + "' has " +
+        std::to_string(page.revisions.size()) +
+        " revisions, above the limit of " +
+        std::to_string(limits.max_revisions_per_page));
+    if (!degraded) return error;
+    return skip_page(SkipReason::kTooManyRevisions,
+                     std::string(error.message()));
+  }
+
+  const ParseLimits parse_limits{limits.max_infobox_nesting_depth};
+  // Integrity tracking for the degraded-only duplicate/out-of-order checks.
+  std::unordered_set<int64_t> seen_revision_ids;
+  Timestamp last_timestamp = 0;
+  bool have_timestamp = false;
+
   std::string previous_text;  // first revision diffs against the empty page
   for (const DumpRevision& rev : page.revisions) {
+    if (degraded) {
+      // Integrity checks the historical strict parser never ran; kStrict
+      // keeps not running them so its accept set is exactly the old one.
+      if (!seen_revision_ids.insert(rev.revision_id).second) {
+        skip_revision(rev, SkipReason::kDuplicateRevision,
+                      "revision id " + std::to_string(rev.revision_id) +
+                          " repeats on page '" + page.title + "'");
+        continue;
+      }
+      if (have_timestamp && rev.timestamp < last_timestamp) {
+        skip_revision(rev, SkipReason::kOutOfOrderRevision,
+                      "revision " + std::to_string(rev.revision_id) +
+                          " rewinds the timeline of page '" + page.title +
+                          "'");
+        continue;
+      }
+    }
+    if (limits.max_revision_bytes > 0 &&
+        rev.text.size() > limits.max_revision_bytes) {
+      Status error = Status::ResourceExhausted(
+          "revision " + std::to_string(rev.revision_id) + " of page '" +
+          page.title + "' is " + std::to_string(rev.text.size()) +
+          " bytes, above the limit of " +
+          std::to_string(limits.max_revision_bytes));
+      if (!degraded) return error;
+      skip_revision(rev, SkipReason::kOversizedRevision,
+                    std::string(error.message()));
+      continue;
+    }
+
+    // On a diff failure under a skip policy, previous_text is not advanced:
+    // the next revision diffs against the last good text, as if the skipped
+    // one never existed.
+    Result<LinkDelta> delta_result =
+        DiffRevisions(previous_text, rev.text, parse_limits);
+    if (!delta_result.ok() && !degraded) return delta_result.status();
+    if (!delta_result.ok()) {
+      skip_revision(rev, DiffSkipReason(delta_result.status()),
+                    std::string(delta_result.status().message()));
+      continue;
+    }
+    const LinkDelta delta = std::move(delta_result).value();
+
     ++batch.revisions;
-    WICLEAN_ASSIGN_OR_RETURN(LinkDelta delta,
-                             DiffRevisions(previous_text, rev.text));
+    if (degraded) {
+      last_timestamp = rev.timestamp;
+      have_timestamp = true;
+    }
     auto emit = [&](EditOp op, const InfoboxLink& link) {
       Result<EntityId> object = registry.FindByName(link.target_title);
       if (!object.ok()) {
@@ -61,14 +201,41 @@ Result<PageActions> ParsePageActions(const DumpPage& page, uint64_t sequence,
     for (const InfoboxLink& link : delta.added) emit(EditOp::kAdd, link);
     previous_text = rev.text;
   }
+
+  if (limits.max_actions_per_page > 0 &&
+      batch.actions.size() > limits.max_actions_per_page) {
+    Status error = Status::ResourceExhausted(
+        "page '" + page.title + "' yields " +
+        std::to_string(batch.actions.size()) +
+        " actions, above the limit of " +
+        std::to_string(limits.max_actions_per_page));
+    if (!degraded) return error;
+    return skip_page(SkipReason::kTooManyActions, std::string(error.message()));
+  }
   return batch;
 }
 
 Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
                   RevisionStore* store, const IngestOptions& options,
                   IngestStats* stats) {
+  if (options.on_error == ErrorPolicy::kQuarantine &&
+      options.quarantine == nullptr) {
+    return Status::InvalidArgument(
+        "ErrorPolicy::kQuarantine requires a QuarantineSink");
+  }
   WICLEAN_ASSIGN_OR_RETURN(PageActions batch,
                            ParsePageActions(page, 0, registry, options));
+  for (const QuarantineRecord& record : batch.quarantine) {
+    WICLEAN_RETURN_IF_ERROR(options.quarantine->Write(record));
+    ++stats->quarantined;
+  }
+  if (batch.skipped) {
+    ++stats->pages_skipped;
+    for (size_t i = 0; i < kNumSkipReasons; ++i) {
+      stats->skipped_by_reason[i] += batch.skipped_by_reason[i];
+    }
+    return Status::OK();
+  }
   if (!batch.known_page) {
     ++stats->unknown_pages;
     return Status::OK();
@@ -77,6 +244,10 @@ Status IngestPage(const DumpPage& page, const EntityRegistry& registry,
   stats->revisions += batch.revisions;
   stats->actions += batch.actions.size();
   stats->unresolved_links += batch.unresolved_links;
+  stats->revisions_skipped += batch.revisions_skipped;
+  for (size_t i = 0; i < kNumSkipReasons; ++i) {
+    stats->skipped_by_reason[i] += batch.skipped_by_reason[i];
+  }
   for (Action& action : batch.actions) store->Add(std::move(action));
   return Status::OK();
 }

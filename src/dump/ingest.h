@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "dump/action_sink.h"
 #include "dump/dump.h"
+#include "dump/quarantine.h"
 #include "graph/entity_registry.h"
 #include "revision/revision_store.h"
 
@@ -22,6 +23,15 @@ struct IngestStats {
   size_t unknown_pages = 0;     // pages whose title is not registered
   size_t unresolved_links = 0;  // link targets not registered (skipped)
 
+  /// Degraded-mode accounting (all zero under kStrict and on clean dumps).
+  /// Counts are merged in page order, so they are deterministic at any
+  /// worker count.
+  size_t pages_skipped = 0;      // whole pages dropped by the parse stage
+  size_t revisions_skipped = 0;  // individual revisions dropped
+  size_t regions_skipped = 0;    // raw byte regions the reader resynced past
+  size_t quarantined = 0;        // records written to the QuarantineSink
+  SkipCounts skipped_by_reason{};  // per-reason breakdown of all of the above
+
   /// Per-stage wall time, so harnesses can report where preprocessing time
   /// goes. `read_seconds` and `merge_seconds` are wall time spent in the
   /// PageSource and ActionSink stages (always single-threaded);
@@ -32,6 +42,34 @@ struct IngestStats {
   double merge_seconds = 0.0;
 
   std::string ToString() const;
+};
+
+/// What to do when a page, revision, or input region cannot be ingested
+/// (malformed XML, corrupt wikitext, or a resource guard tripping).
+enum class ErrorPolicy {
+  /// Fail fast: the first error aborts the whole ingest. The default, and
+  /// byte-identical to the historical behavior.
+  kStrict = 0,
+  /// Drop the offending revision/page/region, count it in IngestStats, and
+  /// keep going. The surviving pages' action stream is exactly what a clean
+  /// ingest of those pages would have produced, at any thread count.
+  kSkip,
+  /// Like kSkip, but additionally writes the raw skipped input plus a
+  /// structured reason record to IngestOptions::quarantine for offline
+  /// triage.
+  kQuarantine,
+};
+
+/// Per-page/per-revision resource guards, enforced by the parse stage. A
+/// breach surfaces as kResourceExhausted and hits the same ErrorPolicy
+/// machinery as corrupt input, so an adversarial or degenerate page cannot
+/// balloon memory or parse work. Zero means unlimited (the default: clean
+/// behavior unchanged).
+struct IngestLimits {
+  size_t max_revision_bytes = 0;      // longest tolerated revision text
+  size_t max_revisions_per_page = 0;  // most revisions on one page
+  size_t max_actions_per_page = 0;    // most recovered actions on one page
+  int max_infobox_nesting_depth = 0;  // wikitext parser template depth
 };
 
 /// Options controlling ingestion strictness and parallelism.
@@ -53,6 +91,20 @@ struct IngestOptions {
   /// many parsed-but-unconsumed pages are buffered, keeping memory
   /// proportional to the queue, not the dump. Ignored when num_threads <= 1.
   size_t queue_capacity = 64;
+
+  /// Fault tolerance (see DESIGN.md §2c "Degraded-mode ingestion"). Under
+  /// kSkip/kQuarantine the ingest additionally rejects revisions that rewind
+  /// the page timeline or repeat a revision id — defensive integrity checks
+  /// that the historical strict parser never ran (kStrict keeps not running
+  /// them, so its behavior is exactly the pre-policy one).
+  ErrorPolicy on_error = ErrorPolicy::kStrict;
+
+  /// Resource guards; breaches follow `on_error` like any other fault.
+  IngestLimits limits;
+
+  /// Destination for skipped input under kQuarantine; must be non-null then
+  /// and outlive the ingest. Ignored under other policies.
+  QuarantineSink* quarantine = nullptr;
 };
 
 /// The parse/diff stage as a pure function: extracts the infobox-link edits

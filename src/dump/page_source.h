@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "dump/dump.h"
+#include "dump/quarantine.h"
 
 namespace wiclean {
 
@@ -22,6 +23,18 @@ class PageSource {
   /// of stream; returns an error status on malformed input. After false or
   /// an error, further calls repeat the same outcome.
   [[nodiscard]] virtual Result<bool> Next(DumpPage* page) = 0;
+
+  /// Degraded-mode recovery hook: after Next() returned an error, skip past
+  /// the damaged input region so the stream can continue. On success *region
+  /// describes what was skipped (for quarantine/accounting); true means the
+  /// stream is usable again, false means the damage ran to end of input.
+  ///
+  /// The default is Unimplemented: a source that cannot resync keeps the
+  /// pipeline's historical fail-fast behavior even under a skip policy.
+  [[nodiscard]] virtual Result<bool> Recover(ResyncInfo* region) {
+    (void)region;
+    return Status::Unimplemented("this PageSource cannot resync");
+  }
 };
 
 /// Streams pages out of a MediaWiki-style XML dump (the production path —
@@ -32,6 +45,12 @@ class XmlPageSource : public PageSource {
   explicit XmlPageSource(std::istream* in) : stream_(in) {}
 
   Result<bool> Next(DumpPage* page) override { return stream_.Next(page); }
+
+  /// Scans forward to the next <page>/</mediawiki> boundary (see
+  /// DumpPageStream::Resync), capturing the skipped raw bytes.
+  [[nodiscard]] Result<bool> Recover(ResyncInfo* region) override {
+    return stream_.Resync(region, kMaxQuarantineRawBytes);
+  }
 
  private:
   DumpPageStream stream_;

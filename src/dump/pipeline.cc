@@ -17,6 +17,19 @@ namespace {
 /// Folds one merged batch into the run counters. Runs inside the ordered
 /// merge, so counts are deterministic regardless of worker scheduling.
 void AccumulateStats(const PageActions& batch, IngestStats* stats) {
+  stats->quarantined += batch.quarantine.size();
+  for (size_t i = 0; i < kNumSkipReasons; ++i) {
+    stats->skipped_by_reason[i] += batch.skipped_by_reason[i];
+  }
+  if (batch.skipped) {
+    if (batch.region_skip) {
+      ++stats->regions_skipped;
+    } else {
+      ++stats->pages_skipped;
+    }
+    return;
+  }
+  stats->revisions_skipped += batch.revisions_skipped;
   if (!batch.known_page) {
     ++stats->unknown_pages;
     return;
@@ -27,6 +40,51 @@ void AccumulateStats(const PageActions& batch, IngestStats* stats) {
   stats->unresolved_links += batch.unresolved_links;
 }
 
+/// Builds the skip batch for a raw input region the reader resynced past.
+/// Region skips consume a sequence number like any page, so the ordered
+/// merge sees them at the position where the damage sat in the dump.
+PageActions MakeRegionSkip(uint64_t sequence, const Status& error,
+                           ResyncInfo&& region, bool quarantining) {
+  PageActions batch;
+  batch.sequence = sequence;
+  batch.skipped = true;
+  batch.region_skip = true;
+  const SkipReason reason = error.code() == StatusCode::kDataLoss
+                                ? SkipReason::kTruncation
+                                : SkipReason::kXmlCorruption;
+  batch.skipped_by_reason[static_cast<size_t>(reason)] = 1;
+  if (quarantining) {
+    QuarantineRecord record;
+    record.reason = reason;
+    record.sequence = sequence;
+    record.detail = std::string(error.message()) + " (skipped " +
+                    std::to_string(region.skipped_bytes) +
+                    " bytes at offset " +
+                    std::to_string(region.byte_offset) + ")";
+    record.raw = std::move(region.raw);
+    record.raw_truncated = region.raw_truncated;
+    batch.quarantine.push_back(std::move(record));
+  }
+  return batch;
+}
+
+/// Reader-side error handling under a skip policy: asks the source to resync
+/// past the damage. Returns the skip batch to merge; sets *at_end when the
+/// damage ran to end of input; or an error when the source cannot recover
+/// (Unimplemented keeps the original fail-fast status).
+Result<PageActions> RecoverRegion(PageSource* source, const Status& error,
+                                  uint64_t sequence, bool quarantining,
+                                  bool* at_end) {
+  ResyncInfo region;
+  Result<bool> recovered = source->Recover(&region);
+  if (!recovered.ok()) {
+    if (recovered.status().code() == StatusCode::kUnimplemented) return error;
+    return recovered.status();
+  }
+  *at_end = !recovered.value();
+  return MakeRegionSkip(sequence, error, std::move(region), quarantining);
+}
+
 /// num_threads <= 1: all three stages inline on the calling thread. This is
 /// the exact historical IngestDump loop, kept separate so the default path
 /// spawns no threads and pays no queue or ordering overhead.
@@ -34,25 +92,49 @@ Result<IngestStats> RunSequential(PageSource* source,
                                   const EntityRegistry& registry,
                                   ActionSink* sink,
                                   const IngestOptions& options) {
+  const bool degraded = options.on_error != ErrorPolicy::kStrict;
+  const bool quarantining = options.on_error == ErrorPolicy::kQuarantine;
   IngestStats stats;
   uint64_t sequence = 0;
   DumpPage page;
-  for (;;) {
+  bool at_end = false;
+  while (!at_end) {
     Timer read_timer;
     Result<bool> more = source->Next(&page);
     stats.read_seconds += read_timer.ElapsedSeconds();
-    if (!more.ok()) return more.status();
-    if (!*more) break;
 
-    Timer parse_timer;
-    Result<PageActions> batch =
-        ParsePageActions(page, sequence++, registry, options);
-    stats.parse_seconds += parse_timer.ElapsedSeconds();
-    if (!batch.ok()) return batch.status();
+    PageActions batch;
+    if (!more.ok()) {
+      if (!degraded) return more.status();
+      Timer resync_timer;
+      Result<PageActions> skip = RecoverRegion(source, more.status(),
+                                               sequence, quarantining,
+                                               &at_end);
+      stats.read_seconds += resync_timer.ElapsedSeconds();
+      if (!skip.ok()) return skip.status();
+      ++sequence;
+      batch = std::move(skip).value();
+    } else if (!*more) {
+      break;
+    } else {
+      Timer parse_timer;
+      Result<PageActions> parsed =
+          ParsePageActions(page, sequence++, registry, options);
+      stats.parse_seconds += parse_timer.ElapsedSeconds();
+      if (!parsed.ok()) return parsed.status();
+      batch = std::move(parsed).value();
+    }
 
     Timer merge_timer;
-    AccumulateStats(*batch, &stats);
-    Status status = sink->Append(std::move(batch).value());
+    AccumulateStats(batch, &stats);
+    Status status = Status::OK();
+    for (const QuarantineRecord& record : batch.quarantine) {
+      status = options.quarantine->Write(record);
+      if (!status.ok()) break;  // losing the quarantine channel is fatal
+    }
+    if (status.ok() && !batch.skipped) {
+      status = sink->Append(std::move(batch));
+    }
     stats.merge_seconds += merge_timer.ElapsedSeconds();
     if (!status.ok()) return status;
   }
@@ -60,9 +142,14 @@ Result<IngestStats> RunSequential(PageSource* source,
 }
 
 /// One (sequence, page) unit of work handed from the reader to the workers.
+/// Reader-side region skips travel through the same queue as pre-resolved
+/// batches (`resolved` set), so they hold their sequence slot in the merge
+/// without the workers parsing anything.
 struct WorkItem {
   uint64_t sequence = 0;
   DumpPage page;
+  bool resolved = false;
+  PageActions batch;  // final batch when resolved; ignored otherwise
 };
 
 /// Shared state of one parallel run: the reorder buffer, the merged
@@ -88,6 +175,8 @@ Result<IngestStats> RunParallel(PageSource* source,
                                 const EntityRegistry& registry,
                                 ActionSink* sink,
                                 const IngestOptions& options) {
+  const bool degraded = options.on_error != ErrorPolicy::kStrict;
+  const bool quarantining = options.on_error == ErrorPolicy::kQuarantine;
   BoundedQueue<WorkItem> queue(options.queue_capacity);
   MergeState state;
 
@@ -107,25 +196,40 @@ Result<IngestStats> RunParallel(PageSource* source,
     pool.Submit([&] {
       WorkItem item;
       while (queue.Pop(&item)) {
-        Timer parse_timer;
-        Result<PageActions> batch =
-            ParsePageActions(item.page, item.sequence, registry, options);
-        state.parse_micros.fetch_add(
-            static_cast<int64_t>(parse_timer.ElapsedSeconds() * 1e6),
-            std::memory_order_relaxed);
-        if (!batch.ok()) {
-          record_error(batch.status());
-          return;
+        PageActions merged;
+        if (item.resolved) {
+          merged = std::move(item.batch);
+        } else {
+          Timer parse_timer;
+          Result<PageActions> batch =
+              ParsePageActions(item.page, item.sequence, registry, options);
+          state.parse_micros.fetch_add(
+              static_cast<int64_t>(parse_timer.ElapsedSeconds() * 1e6),
+              std::memory_order_relaxed);
+          if (!batch.ok()) {
+            record_error(batch.status());
+            return;
+          }
+          merged = std::move(batch).value();
         }
         MutexLock lock(&state.mu);
-        state.pending.emplace(item.sequence, std::move(batch).value());
-        // Flush the contiguous run now available, in sequence order.
+        state.pending.emplace(item.sequence, std::move(merged));
+        // Flush the contiguous run now available, in sequence order. Skip
+        // batches pass through the same merge (so counters and quarantine
+        // records land in source order) but never reach the sink.
         while (!state.pending.empty() && state.first_error.ok()) {
           auto front = state.pending.begin();
           if (front->first != state.next_sequence) break;
           Timer merge_timer;
           AccumulateStats(front->second, &state.stats);
-          Status status = sink->Append(std::move(front->second));
+          Status status = Status::OK();
+          for (const QuarantineRecord& record : front->second.quarantine) {
+            status = options.quarantine->Write(record);
+            if (!status.ok()) break;  // losing quarantine output is fatal
+          }
+          if (status.ok() && !front->second.skipped) {
+            status = sink->Append(std::move(front->second));
+          }
           state.merge_micros +=
               static_cast<int64_t>(merge_timer.ElapsedSeconds() * 1e6);
           state.pending.erase(front);
@@ -141,7 +245,8 @@ Result<IngestStats> RunParallel(PageSource* source,
 
   // Stage 1, on the calling thread: pull pages and push them downstream.
   // Push blocking on a full queue is the backpressure that keeps the reader
-  // at most queue_capacity pages ahead.
+  // at most queue_capacity pages ahead. Under a skip policy a read error is
+  // downgraded to a pre-resolved region-skip item so the stream continues.
   uint64_t sequence = 0;
   double read_seconds = 0.0;  // reader-local; folded into stats at the end
   for (;;) {
@@ -150,8 +255,25 @@ Result<IngestStats> RunParallel(PageSource* source,
     Result<bool> more = source->Next(&item.page);
     read_seconds += read_timer.ElapsedSeconds();
     if (!more.ok()) {
-      record_error(more.status());
-      break;
+      if (!degraded) {
+        record_error(more.status());
+        break;
+      }
+      bool at_end = false;
+      Timer resync_timer;
+      Result<PageActions> skip = RecoverRegion(source, more.status(),
+                                               sequence, quarantining,
+                                               &at_end);
+      read_seconds += resync_timer.ElapsedSeconds();
+      if (!skip.ok()) {
+        record_error(skip.status());
+        break;
+      }
+      item.batch = std::move(skip).value();
+      item.sequence = sequence++;
+      item.resolved = true;
+      if (!queue.Push(std::move(item)) || at_end) break;
+      continue;
     }
     if (!*more) break;
     item.sequence = sequence++;
@@ -177,6 +299,11 @@ Result<IngestStats> RunIngestPipeline(PageSource* source,
                                       const EntityRegistry& registry,
                                       ActionSink* sink,
                                       const IngestOptions& options) {
+  if (options.on_error == ErrorPolicy::kQuarantine &&
+      options.quarantine == nullptr) {
+    return Status::InvalidArgument(
+        "ErrorPolicy::kQuarantine requires a QuarantineSink");
+  }
   if (options.num_threads <= 1) {
     return RunSequential(source, registry, sink, options);
   }

@@ -1,0 +1,108 @@
+#include "dump/quarantine.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace wiclean {
+
+std::string_view SkipReasonName(SkipReason reason) {
+  switch (reason) {
+    case SkipReason::kXmlCorruption:
+      return "xml-corruption";
+    case SkipReason::kTruncation:
+      return "truncation";
+    case SkipReason::kWikitextCorruption:
+      return "wikitext-corruption";
+    case SkipReason::kOversizedRevision:
+      return "oversized-revision";
+    case SkipReason::kTooManyRevisions:
+      return "too-many-revisions";
+    case SkipReason::kTooManyActions:
+      return "too-many-actions";
+    case SkipReason::kNestingDepth:
+      return "nesting-depth";
+    case SkipReason::kDuplicateRevision:
+      return "duplicate-revision";
+    case SkipReason::kOutOfOrderRevision:
+      return "out-of-order-revision";
+    case SkipReason::kUnknownPage:
+      return "unknown-page";
+  }
+  return "unknown-reason";
+}
+
+std::string FormatSkipCounts(const SkipCounts& counts) {
+  std::string out;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += SkipReasonName(static_cast<SkipReason>(i));
+    out += '=';
+    out += std::to_string(counts[i]);
+  }
+  return out;
+}
+
+namespace {
+
+/// TSV fields must stay one-line: tabs and newlines in free-text fields are
+/// replaced so `cut`/`awk` triage works on the index.
+std::string TsvSanitize(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+DirectoryQuarantineSink::DirectoryQuarantineSink(const std::string& dir)
+    : dir_(dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    status_ = Status::Internal("cannot create quarantine directory " + dir_ +
+                               ": " + ec.message());
+    return;
+  }
+  index_.open(dir_ + "/quarantine.tsv", std::ios::out | std::ios::trunc);
+  if (!index_) {
+    status_ = Status::Internal("cannot open " + dir_ + "/quarantine.tsv");
+    return;
+  }
+  index_ << "sequence\treason\ttitle\trevision_id\traw_file\tdetail\n";
+}
+
+Status DirectoryQuarantineSink::Write(const QuarantineRecord& record) {
+  WICLEAN_RETURN_IF_ERROR(status_);
+  char raw_name[32];
+  std::snprintf(raw_name, sizeof(raw_name), "raw-%06llu.txt",
+                static_cast<unsigned long long>(next_file_++));
+  {
+    std::ofstream raw(dir_ + "/" + raw_name,
+                      std::ios::out | std::ios::trunc | std::ios::binary);
+    if (!raw) {
+      return Status::Internal("cannot write quarantine blob " + dir_ + "/" +
+                              raw_name);
+    }
+    raw.write(record.raw.data(),
+              static_cast<std::streamsize>(record.raw.size()));
+    if (record.raw_truncated) raw << "\n...[raw truncated]...\n";
+    if (!raw.good()) {
+      return Status::Internal("quarantine blob write failed: " + dir_ + "/" +
+                              raw_name);
+    }
+  }
+  index_ << record.sequence << '\t' << SkipReasonName(record.reason) << '\t'
+         << TsvSanitize(record.title) << '\t' << record.revision_id << '\t'
+         << raw_name << '\t' << TsvSanitize(record.detail) << '\n';
+  index_.flush();
+  if (!index_.good()) {
+    return Status::Internal("quarantine index write failed: " + dir_ +
+                            "/quarantine.tsv");
+  }
+  return Status::OK();
+}
+
+}  // namespace wiclean

@@ -1,0 +1,114 @@
+#ifndef WICLEAN_DUMP_QUARANTINE_H_
+#define WICLEAN_DUMP_QUARANTINE_H_
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wiclean {
+
+/// Why a page, revision, or raw byte region was dropped by a degraded-mode
+/// ingest (IngestOptions::on_error != kStrict; see dump/ingest.h). The enum
+/// doubles as the index of the per-reason skip counters in PageActions and
+/// IngestStats, so it must stay dense.
+enum class SkipReason {
+  kXmlCorruption = 0,    // reader could not parse a region; resynced past it
+  kTruncation,           // input ended mid-record (DataLoss)
+  kWikitextCorruption,   // revision text failed the infobox parser
+  kOversizedRevision,    // revision text above IngestLimits::max_revision_bytes
+  kTooManyRevisions,     // page above IngestLimits::max_revisions_per_page
+  kTooManyActions,       // page above IngestLimits::max_actions_per_page
+  kNestingDepth,         // infobox nesting above the parse depth limit
+  kDuplicateRevision,    // revision id already seen on this page
+  kOutOfOrderRevision,   // revision timestamp rewinds the page timeline
+  kUnknownPage,          // strict_pages set and title unregistered
+};
+inline constexpr size_t kNumSkipReasons = 10;
+
+/// Stable kebab-case name for a reason ("xml-corruption", ...); used by the
+/// stats breakdown, the quarantine index file, and tests.
+std::string_view SkipReasonName(SkipReason reason);
+
+/// One quarantined input fragment: enough structure to triage offline (which
+/// page, which revision, why) plus the raw text itself. `raw` is capped at
+/// kMaxQuarantineRawBytes; `raw_truncated` says the cap was hit.
+struct QuarantineRecord {
+  SkipReason reason = SkipReason::kXmlCorruption;
+  uint64_t sequence = 0;     // page/region sequence number in the ingest
+  std::string title;         // page title; empty for raw byte regions
+  int64_t revision_id = -1;  // offending revision, or -1 for a whole page/region
+  std::string detail;        // the Status message that triggered the skip
+  std::string raw;           // raw page XML / revision wikitext / region bytes
+  bool raw_truncated = false;
+};
+
+/// Cap on QuarantineRecord::raw, so one multi-megabyte corrupt region cannot
+/// balloon the quarantine channel (the skipped input is still fully consumed,
+/// just not fully retained).
+inline constexpr size_t kMaxQuarantineRawBytes = 1 << 20;
+
+/// Destination for quarantined input under ErrorPolicy::kQuarantine.
+///
+/// Thread-safety: the ingestion pipeline writes records from the ordered
+/// merge stage only — one call at a time, in deterministic (sequence) order
+/// regardless of worker count — so implementations need no locking.
+class QuarantineSink {
+ public:
+  virtual ~QuarantineSink() = default;
+
+  /// Persists one record. A non-OK status aborts the ingest (losing the
+  /// quarantine channel is an error even in degraded mode).
+  [[nodiscard]] virtual Status Write(const QuarantineRecord& record) = 0;
+};
+
+/// In-memory sink for tests and the fault-injection harness.
+class MemoryQuarantineSink : public QuarantineSink {
+ public:
+  [[nodiscard]] Status Write(const QuarantineRecord& record) override {
+    records_.push_back(record);
+    return Status::OK();
+  }
+
+  const std::vector<QuarantineRecord>& records() const { return records_; }
+
+ private:
+  std::vector<QuarantineRecord> records_;
+};
+
+/// File-based sink for offline triage: writes `quarantine.tsv` (one index
+/// line per record: sequence, reason, title, revision id, raw file, detail)
+/// plus one `raw-NNNNNN.txt` blob per record, all under `dir`.
+class DirectoryQuarantineSink : public QuarantineSink {
+ public:
+  /// Creates `dir` (and parents) if needed and opens the index file; check
+  /// status() before use.
+  explicit DirectoryQuarantineSink(const std::string& dir);
+
+  /// Creation/open outcome; Write fails fast when this is non-OK.
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] Status Write(const QuarantineRecord& record) override;
+
+ private:
+  std::string dir_;
+  std::ofstream index_;
+  Status status_;
+  uint64_t next_file_ = 0;
+};
+
+/// Fixed-size per-reason counter block, aggregated from per-page deltas into
+/// IngestStats by the ordered merge (deterministic at any thread count).
+using SkipCounts = std::array<size_t, kNumSkipReasons>;
+
+/// Renders non-zero entries as "name=count name=count ..."; empty string when
+/// all counters are zero.
+std::string FormatSkipCounts(const SkipCounts& counts);
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_DUMP_QUARANTINE_H_

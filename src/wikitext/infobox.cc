@@ -74,7 +74,8 @@ std::string RenderPage(const std::string& title,
   return out;
 }
 
-Result<ParsedPage> ParsePage(const std::string& wikitext) {
+Result<ParsedPage> ParsePage(const std::string& wikitext,
+                             const ParseLimits& limits) {
   ParsedPage page;
   size_t open = wikitext.find(kInfoboxOpen);
   if (open == std::string::npos) return page;  // no structured section
@@ -88,6 +89,12 @@ Result<ParsedPage> ParsePage(const std::string& wikitext) {
   while (pos + 1 < wikitext.size()) {
     if (wikitext[pos] == '{' && wikitext[pos + 1] == '{') {
       ++depth;
+      if (limits.max_infobox_nesting_depth > 0 &&
+          depth > limits.max_infobox_nesting_depth) {
+        return Status::ResourceExhausted(
+            "infobox template nesting exceeds depth limit " +
+            std::to_string(limits.max_infobox_nesting_depth));
+      }
       pos += 2;
     } else if (wikitext[pos] == '}' && wikitext[pos + 1] == '}') {
       --depth;
@@ -128,9 +135,10 @@ Result<ParsedPage> ParsePage(const std::string& wikitext) {
 }
 
 Result<LinkDelta> DiffRevisions(const std::string& before,
-                                const std::string& after) {
-  WICLEAN_ASSIGN_OR_RETURN(ParsedPage old_page, ParsePage(before));
-  WICLEAN_ASSIGN_OR_RETURN(ParsedPage new_page, ParsePage(after));
+                                const std::string& after,
+                                const ParseLimits& limits) {
+  WICLEAN_ASSIGN_OR_RETURN(ParsedPage old_page, ParsePage(before, limits));
+  WICLEAN_ASSIGN_OR_RETURN(ParsedPage new_page, ParsePage(after, limits));
 
   std::set<InfoboxLink> old_set(old_page.links.begin(), old_page.links.end());
   std::set<InfoboxLink> new_set(new_page.links.begin(), new_page.links.end());

@@ -49,6 +49,15 @@ std::string RenderPage(const std::string& title,
                        const std::string& infobox_class,
                        const std::vector<InfoboxLink>& links);
 
+/// Resource guards for the wikitext parser: bounds on adversarial or
+/// degenerate markup, enforced as kResourceExhausted errors so oversized
+/// input hits the ingestion error-policy machinery (dump/ingest.h) instead
+/// of ballooning parse work. Zero means unlimited (the default — behavior
+/// identical to the unguarded parser).
+struct ParseLimits {
+  int max_infobox_nesting_depth = 0;  // deepest {{...}} nesting tolerated
+};
+
 /// Parses the structured section of a page revision.
 ///
 /// Recognized grammar (a practical subset of MediaWiki syntax):
@@ -59,8 +68,10 @@ std::string RenderPage(const std::string& title,
 /// Text outside the infobox is ignored. Pages with no infobox parse to an
 /// empty link set. Malformed markup — an unterminated "{{Infobox" block or an
 /// unterminated "[[" link inside it — returns Corruption, mirroring the
-/// realities of hand-parsing dump text.
-[[nodiscard]] Result<ParsedPage> ParsePage(const std::string& wikitext);
+/// realities of hand-parsing dump text. Template nesting deeper than
+/// limits.max_infobox_nesting_depth (when set) returns ResourceExhausted.
+[[nodiscard]] Result<ParsedPage> ParsePage(const std::string& wikitext,
+                                           const ParseLimits& limits = {});
 
 /// Computes the link edits that turn revision `before` into revision `after`:
 /// links present only in `after` are additions, links present only in
@@ -71,7 +82,8 @@ struct LinkDelta {
   std::vector<InfoboxLink> added;
 };
 [[nodiscard]] Result<LinkDelta> DiffRevisions(const std::string& before,
-                                const std::string& after);
+                                              const std::string& after,
+                                              const ParseLimits& limits = {});
 
 }  // namespace wiclean
 

@@ -346,6 +346,48 @@ TEST(BoundedQueueTest, CancelDiscardsItemsAndWakesBlockedProducer) {
   EXPECT_TRUE(q.cancelled());
 }
 
+TEST(BoundedQueueTest, CancelPromptlyWakesBlockedConsumer) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    int v = 0;
+    EXPECT_FALSE(q.Pop(&v));  // blocks on the empty queue until Cancel
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());  // still parked — Pop has no timeout to lean on
+  Timer timer;
+  q.Cancel();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+  // The wake must come from the notification, not from any polling interval:
+  // seconds-scale slack only, to stay robust on loaded CI machines.
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+}
+
+TEST(BoundedQueueTest, CancelOnFullQueueWakesEveryBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));  // fill to capacity
+  constexpr int kProducers = 3;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &rejected, p] {
+      if (!q.Push(p + 1)) rejected.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Cancel();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);  // all woke, none enqueued
+
+  // After cancellation both endpoints fail fast, without blocking.
+  EXPECT_FALSE(q.Push(99));
+  int v = 0;
+  EXPECT_FALSE(q.Pop(&v));  // the pre-cancel item was discarded too
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(BoundedQueueTest, BackpressureBlocksProducerUntilConsumed) {
   BoundedQueue<int> q(2);
   std::atomic<int> pushed{0};

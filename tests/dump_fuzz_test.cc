@@ -156,18 +156,105 @@ TEST_P(DumpFuzzTest, MutatedDumpThroughParallelPipeline) {
     RevisionStore store;
     Result<IngestStats> result = IngestDump(&in, registry, &store, options);
     if (!result.ok()) {
-      // Reader-side damage surfaces as Corruption (or InvalidArgument /
-      // OutOfRange from numeric fields); wikitext damage that survives XML
-      // parsing surfaces as Corruption from a worker. Anything else means
-      // the pipeline mangled the error on its way out.
+      // Reader-side damage surfaces as Corruption, DataLoss when the input
+      // simply ended (truncating mutations), or InvalidArgument / OutOfRange
+      // from numeric fields; wikitext damage that survives XML parsing
+      // surfaces as Corruption from a worker. Anything else means the
+      // pipeline mangled the error on its way out.
       StatusCode code = result.status().code();
       EXPECT_TRUE(code == StatusCode::kCorruption ||
+                  code == StatusCode::kDataLoss ||
                   code == StatusCode::kInvalidArgument ||
                   code == StatusCode::kOutOfRange)
           << result.status().ToString();
     } else {
       EXPECT_LE(result->pages + result->unknown_pages, 16u);
     }
+  }
+}
+
+// The same sweep under ErrorPolicy::kSkip, with extra resync-stressing
+// mutations (stray "<page>" tokens, premature footers, boundary chops). The
+// property is much stronger than kStrict's: a skip-policy ingest must *never*
+// fail on reader-side damage — it resyncs, counts, and carries on — and its
+// output must be identical at 1 and 4 worker threads for every mutant.
+TEST_P(DumpFuzzTest, MutatedDumpUnderSkipPolicyAlwaysCompletes) {
+  TypeTaxonomy tax;
+  TypeId thing = *tax.AddRoot("thing");
+  EntityRegistry registry(&tax);
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(registry.Register("Page" + std::to_string(p), thing).ok());
+  }
+  ASSERT_TRUE(registry.Register("Target", thing).ok());
+
+  std::string base = ValidDump();
+  Rng rng(GetParam() ^ 0x7de34b1f);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string mutated = base;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(6)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextBelow(256));
+          break;
+        case 1:
+          mutated.erase(pos, rng.NextBelow(16) + 1);
+          break;
+        case 2:
+          mutated.insert(pos, mutated.substr(
+                                  pos, std::min<size_t>(
+                                           16, mutated.size() - pos)));
+          break;
+        case 3:
+          mutated.resize(pos);
+          break;
+        case 4:  // stray page-boundary token: resync anchors on these
+          mutated.insert(pos, "<page>");
+          break;
+        case 5:  // premature footer: resync may stop at end-of-dump instead
+          mutated.insert(pos, "</mediawiki>");
+          break;
+      }
+      if (mutated.empty()) mutated = "<";
+    }
+
+    IngestStats per_thread_stats[2];
+    std::string fingerprints[2];
+    const size_t thread_counts[] = {1, 4};
+    for (size_t t = 0; t < 2; ++t) {
+      IngestOptions options;
+      options.on_error = ErrorPolicy::kSkip;
+      options.num_threads = thread_counts[t];
+      options.queue_capacity = 2;
+      std::istringstream in(mutated);
+      RevisionStore store;
+      Result<IngestStats> result = IngestDump(&in, registry, &store, options);
+      ASSERT_TRUE(result.ok())
+          << "kSkip must absorb all reader damage; trial " << trial
+          << " threads " << thread_counts[t] << ": "
+          << result.status().ToString();
+      per_thread_stats[t] = *result;
+      for (EntityId e = 0; e < 4; ++e) {
+        for (const Action& a : store.LogOf(e)) {
+          fingerprints[t] += std::to_string(a.subject) + a.relation +
+                             std::to_string(a.object) + "@" +
+                             std::to_string(a.time) + ";";
+        }
+      }
+      // Bounded damage on a 3-page dump: never more batches than plausible.
+      EXPECT_LE(result->pages + result->unknown_pages +
+                    result->pages_skipped + result->regions_skipped,
+                64u);
+    }
+    EXPECT_EQ(fingerprints[0], fingerprints[1]) << "trial " << trial;
+    EXPECT_EQ(per_thread_stats[0].pages, per_thread_stats[1].pages);
+    EXPECT_EQ(per_thread_stats[0].revisions_skipped,
+              per_thread_stats[1].revisions_skipped);
+    EXPECT_EQ(per_thread_stats[0].regions_skipped,
+              per_thread_stats[1].regions_skipped);
+    EXPECT_EQ(per_thread_stats[0].skipped_by_reason,
+              per_thread_stats[1].skipped_by_reason);
   }
 }
 

@@ -121,6 +121,168 @@ TEST(DumpReaderTest, CallbackErrorStopsRead) {
   EXPECT_EQ(seen, 1u);
 }
 
+// ---------- truncation classification (DataLoss) ----------
+
+std::string TwoPageDump() {
+  std::ostringstream out;
+  DumpWriter writer(&out);
+  writer.Begin();
+  writer.WritePage(SamplePage());
+  writer.WritePage([] {
+    DumpPage p = SamplePage();
+    p.title = "Second";
+    return p;
+  }());
+  EXPECT_TRUE(writer.End().ok());
+  return out.str();
+}
+
+Status ReadAllOf(const std::string& dump) {
+  std::istringstream in(dump);
+  return DumpReader::ReadAll(&in, [](const DumpPage&) { return Status::OK(); });
+}
+
+TEST(DumpReaderTest, TruncationIsDataLossNamingByteAndPage) {
+  const std::string full = TwoPageDump();
+
+  struct Cut {
+    size_t offset;
+    const char* inside_page;  // nullptr: truncation outside any page
+  };
+  const Cut cuts[] = {
+      // Mid-tag inside the first page's first <text> element.
+      {full.find("<text>") + 3, "Neymar & Friends"},
+      // Inside the second page (its last <timestamp> tag).
+      {full.rfind("<timestamp>") + 5, "Second"},
+      // Inside the closing </mediawiki> footer: no page context.
+      {full.size() - 3, nullptr},
+      // Inside the <mediawiki> header: no page context either.
+      {5, nullptr},
+  };
+  for (const Cut& cut : cuts) {
+    ASSERT_LT(cut.offset, full.size());
+    Status s = ReadAllOf(full.substr(0, cut.offset));
+    ASSERT_FALSE(s.ok()) << "offset " << cut.offset;
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+    // The message pins the exact stream length where input ran out.
+    EXPECT_NE(s.message().find("truncated dump at byte " +
+                               std::to_string(cut.offset)),
+              std::string::npos)
+        << s.ToString();
+    if (cut.inside_page != nullptr) {
+      EXPECT_NE(s.message().find(std::string("inside page '") +
+                                 cut.inside_page + "'"),
+                std::string::npos)
+          << s.ToString();
+    } else {
+      EXPECT_EQ(s.message().find("inside page"), std::string::npos)
+          << s.ToString();
+    }
+  }
+}
+
+TEST(DumpReaderTest, GarbageIsStillCorruptionNotDataLoss) {
+  // Bytes are *present* but wrong: the old Corruption classification must
+  // survive the DataLoss split.
+  std::string bad = TwoPageDump();
+  bad.replace(bad.find("<title>"), 7, "<tiXle>");
+  Status s = ReadAllOf(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+// ---------- DumpPageStream::Resync ----------
+
+TEST(DumpPageStreamTest, ResyncSkipsGarbageBetweenPages) {
+  std::string dump = TwoPageDump();
+  const std::string garbage = "@@not-xml-at-all@@";
+  const size_t second_page = dump.find("<page>", dump.find("</page>"));
+  ASSERT_NE(second_page, std::string::npos);
+  dump.insert(second_page, garbage);
+
+  std::istringstream in(dump);
+  DumpPageStream stream(&in);
+  DumpPage page;
+  Result<bool> first = stream.Next(&page);
+  ASSERT_TRUE(first.ok() && *first);
+  EXPECT_EQ(page.title, "Neymar & Friends");
+
+  Result<bool> damaged = stream.Next(&page);
+  ASSERT_FALSE(damaged.ok());
+
+  ResyncInfo info;
+  Result<bool> resumed = stream.Resync(&info);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(*resumed);  // boundary found: stream usable again
+  EXPECT_NE(info.raw.find(garbage), std::string::npos);
+  EXPECT_GE(info.skipped_bytes, garbage.size());
+  EXPECT_FALSE(info.raw_truncated);
+
+  Result<bool> second = stream.Next(&page);
+  ASSERT_TRUE(second.ok() && *second);
+  EXPECT_EQ(page.title, "Second");
+  Result<bool> done = stream.Next(&page);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(*done);
+}
+
+TEST(DumpPageStreamTest, ResyncWithoutPendingErrorIsFailedPrecondition) {
+  std::string dump = TwoPageDump();
+  std::istringstream in(dump);
+  DumpPageStream stream(&in);
+  ResyncInfo info;
+  Result<bool> r = stream.Resync(&info);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DumpPageStreamTest, ResyncOnTruncatedTailReportsEndOfInput) {
+  std::string dump = TwoPageDump();
+  dump.resize(dump.rfind("<timestamp>") + 5);  // cut inside the second page
+  std::istringstream in(dump);
+  DumpPageStream stream(&in);
+  DumpPage page;
+  Result<bool> first = stream.Next(&page);
+  ASSERT_TRUE(first.ok() && *first);
+  Result<bool> damaged = stream.Next(&page);
+  ASSERT_FALSE(damaged.ok());
+  EXPECT_EQ(damaged.status().code(), StatusCode::kDataLoss);
+
+  ResyncInfo info;
+  Result<bool> resumed = stream.Resync(&info);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_FALSE(*resumed);  // damage ran to end of input
+  EXPECT_GT(info.skipped_bytes, 0u);
+  // The stream is cleanly finished now, not stuck on the error.
+  Result<bool> done = stream.Next(&page);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(*done);
+}
+
+TEST(DumpPageStreamTest, ResyncCapsRawCaptureButCountsAllBytes) {
+  std::string dump = TwoPageDump();
+  const std::string garbage(256, '#');
+  const size_t second_page = dump.find("<page>", dump.find("</page>"));
+  dump.insert(second_page, garbage);
+
+  std::istringstream in(dump);
+  DumpPageStream stream(&in);
+  DumpPage page;
+  ASSERT_TRUE(stream.Next(&page).ok());
+  ASSERT_FALSE(stream.Next(&page).ok());
+
+  ResyncInfo info;
+  Result<bool> resumed = stream.Resync(&info, /*max_raw_bytes=*/16);
+  ASSERT_TRUE(resumed.ok() && *resumed);
+  EXPECT_LE(info.raw.size(), 16u);
+  EXPECT_TRUE(info.raw_truncated);
+  EXPECT_GE(info.skipped_bytes, garbage.size());  // exact count, uncapped
+
+  Result<bool> second = stream.Next(&page);
+  ASSERT_TRUE(second.ok() && *second);
+  EXPECT_EQ(page.title, "Second");
+}
+
 // ---------- ingestion ----------
 
 class IngestTest : public ::testing::Test {

@@ -35,6 +35,7 @@
 #include "core/window_search.h"
 #include "dump/alignment.h"
 #include "dump/ingest.h"
+#include "dump/quarantine.h"
 #include "report/report.h"
 #include "synth/dump_render.h"
 #include "synth/synthesizer.h"
@@ -140,6 +141,35 @@ Result<LoadedCorpus> LoadCorpus(const Args& args) {
     return Status::InvalidArgument("--threads must be >= 1");
   }
   ingest_options.num_threads = static_cast<size_t>(threads);
+
+  // --on-error selects the fault policy; strict (the default) fails fast.
+  std::string on_error = args.Get("on-error", "strict");
+  std::unique_ptr<DirectoryQuarantineSink> quarantine_sink;
+  if (on_error == "strict") {
+    ingest_options.on_error = ErrorPolicy::kStrict;
+  } else if (on_error == "skip") {
+    ingest_options.on_error = ErrorPolicy::kSkip;
+  } else if (on_error == "quarantine") {
+    ingest_options.on_error = ErrorPolicy::kQuarantine;
+    WICLEAN_ASSIGN_OR_RETURN(std::string quarantine_dir,
+                             args.Require("quarantine-dir"));
+    quarantine_sink = std::make_unique<DirectoryQuarantineSink>(quarantine_dir);
+    WICLEAN_RETURN_IF_ERROR(quarantine_sink->status());
+    ingest_options.quarantine = quarantine_sink.get();
+  } else {
+    return Status::InvalidArgument(
+        "--on-error must be strict, skip, or quarantine (got '" + on_error +
+        "')");
+  }
+  ingest_options.limits.max_revision_bytes =
+      static_cast<size_t>(args.GetInt("max-revision-bytes", 0));
+  ingest_options.limits.max_revisions_per_page =
+      static_cast<size_t>(args.GetInt("max-revisions-per-page", 0));
+  ingest_options.limits.max_actions_per_page =
+      static_cast<size_t>(args.GetInt("max-actions-per-page", 0));
+  ingest_options.limits.max_infobox_nesting_depth =
+      static_cast<int>(args.GetInt("max-infobox-depth", 0));
+
   WICLEAN_ASSIGN_OR_RETURN(
       IngestStats stats,
       IngestDump(&dump_file, *corpus.registry, &corpus.store, ingest_options));
@@ -330,12 +360,22 @@ int Usage() {
                "  synth  --out-dir DIR [--seeds N] [--years N] "
                "[--domains soccer,cinema,politics,software] [--rng-seed S]\n"
                "  mine   --dump F --taxonomy F --alignment F --seed-type T "
-               "[--threshold X] [--json F] [--threads N]\n"
+               "[--threshold X] [--json F] [--threads N] [ingest flags]\n"
                "  detect --dump F --taxonomy F --alignment F --seed-type T "
-               "[--threshold X] [--csv F] [--max-print N] [--threads N]\n"
+               "[--threshold X] [--csv F] [--max-print N] [--threads N] "
+               "[ingest flags]\n"
                "--threads parallelizes dump parse/diff ingestion; output is\n"
                "identical to --threads 1. The ingested: line on stderr "
-               "reports per-stage (read/parse/merge) times.\n");
+               "reports per-stage (read/parse/merge) times.\n"
+               "ingest flags (fault tolerance):\n"
+               "  --on-error strict|skip|quarantine   fault policy "
+               "(default strict: fail fast)\n"
+               "  --quarantine-dir DIR   where 'quarantine' writes skipped "
+               "input (required then)\n"
+               "  --max-revision-bytes N --max-revisions-per-page N\n"
+               "  --max-actions-per-page N --max-infobox-depth N\n"
+               "      resource guards; 0 (default) = unlimited. Breaches "
+               "follow --on-error.\n");
   return 1;
 }
 
