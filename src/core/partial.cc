@@ -47,27 +47,17 @@ rel::Schema AccSchema(const Pattern& pattern,
 
 }  // namespace
 
-PartialUpdateDetector::PartialUpdateDetector(const EntityRegistry* registry,
-                                             const RevisionStore* store,
-                                             PartialDetectorOptions options)
-    : registry_(registry), store_(store), options_(options) {}
-
-Result<PartialUpdateReport> PartialUpdateDetector::Detect(
-    const Pattern& pattern, const TimeWindow& window) const {
+Result<PartialUpdateReport> DetectPartialsFromRealizations(
+    const Pattern& pattern, const TimeWindow& window,
+    const TypeTaxonomy& taxonomy,
+    const std::function<const rel::Table*(size_t action_index)>& realizations,
+    const PartialDetectorOptions& options) {
   if (pattern.num_actions() == 0) {
     return Status::InvalidArgument("cannot detect partials of an empty pattern");
   }
   WICLEAN_ASSIGN_OR_RETURN(std::vector<size_t> order,
                            PatternTraversalOrder(pattern));
 
-  // Lines 1-2: ingest (reduced, abstracted) revision histories of the entity
-  // types appearing in the pattern.
-  ActionIndex index(registry_, store_, window, options_.max_abstraction_lift);
-  for (TypeId t : pattern.DistinctVarTypes()) {
-    index.AddEntities(registry_->EntitiesOfType(t));
-  }
-
-  const TypeTaxonomy& taxonomy = registry_->taxonomy();
   const size_t num_vars = pattern.num_vars();
 
   // Empty two-column relation used when an abstract action has no
@@ -81,14 +71,12 @@ Result<PartialUpdateReport> PartialUpdateDetector::Detect(
   std::vector<rel::Table> bound_tables;  // filtered copies for bound vars
   bound_tables.reserve(pattern.num_actions());
   auto action_realizations = [&](size_t i) -> const rel::Table& {
+    const rel::Table* raw = realizations(i);
+    if (raw == nullptr) return empty_uv;
+    if (!pattern.HasBindings()) return *raw;
     const AbstractAction& a = pattern.actions()[i];
-    AbstractActionKey key{a.op, pattern.var_type(a.source_var), a.relation,
-                          pattern.var_type(a.target_var)};
-    auto it = index.entries().find(key.Encode());
-    if (it == index.entries().end()) return empty_uv;
-    if (!pattern.HasBindings()) return it->second.realizations;
     bound_tables.push_back(FilterRealizationsByBindings(
-        it->second.realizations, pattern.var_binding(a.source_var),
+        *raw, pattern.var_binding(a.source_var),
         pattern.var_binding(a.target_var)));
     return bound_tables.back();
   };
@@ -124,7 +112,7 @@ Result<PartialUpdateReport> PartialUpdateDetector::Detect(
 
     rel::JoinSpec spec;
     spec.null_inequality_passes = true;
-    spec.prefer_nested_loop = !options_.use_hash_join;
+    spec.prefer_nested_loop = !options.use_hash_join;
     // The action's source must agree with the (coalesced) source binding.
     spec.equal_cols.push_back({static_cast<size_t>(a.source_var), 0});
     if (var_known[a.target_var]) {
@@ -213,7 +201,7 @@ Result<PartialUpdateReport> PartialUpdateDetector::Detect(
     }
     if (pr.missing_actions.empty()) {
       ++report.full_count;
-      if (report.examples.size() < options_.max_examples) {
+      if (report.examples.size() < options.max_examples) {
         std::vector<EntityId> example;
         example.reserve(num_vars);
         for (const auto& b : pr.bindings) example.push_back(*b);
@@ -224,6 +212,32 @@ Result<PartialUpdateReport> PartialUpdateDetector::Detect(
     }
   }
   return report;
+}
+
+PartialUpdateDetector::PartialUpdateDetector(const EntityRegistry* registry,
+                                             const RevisionStore* store,
+                                             PartialDetectorOptions options)
+    : registry_(registry), store_(store), options_(options) {}
+
+Result<PartialUpdateReport> PartialUpdateDetector::Detect(
+    const Pattern& pattern, const TimeWindow& window) const {
+  // Lines 1-2: ingest (reduced, abstracted) revision histories of the entity
+  // types appearing in the pattern.
+  ActionIndex index(registry_, store_, window, options_.max_abstraction_lift);
+  for (TypeId t : pattern.DistinctVarTypes()) {
+    index.AddEntities(registry_->EntitiesOfType(t));
+  }
+
+  auto realizations = [&](size_t i) -> const rel::Table* {
+    const AbstractAction& a = pattern.actions()[i];
+    AbstractActionKey key{a.op, pattern.var_type(a.source_var), a.relation,
+                          pattern.var_type(a.target_var)};
+    auto it = index.entries().find(key.Encode());
+    return it == index.entries().end() ? nullptr : &it->second.realizations;
+  };
+  return DetectPartialsFromRealizations(pattern, window,
+                                        registry_->taxonomy(), realizations,
+                                        options_);
 }
 
 }  // namespace wiclean

@@ -1,12 +1,14 @@
 #ifndef WICLEAN_CORE_PARTIAL_H_
 #define WICLEAN_CORE_PARTIAL_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/pattern.h"
 #include "graph/entity_registry.h"
+#include "relational/table.h"
 #include "revision/revision_store.h"
 #include "revision/window.h"
 
@@ -52,6 +54,27 @@ struct PartialDetectorOptions {
   /// realizations line up with the pattern's variable types.
   int max_abstraction_lift = 2;
 };
+
+/// The join-chain core of Algorithm 3, shared between the batch
+/// PartialUpdateDetector and the serving layer's incremental OnlineDetector
+/// (serve/online_detector.h): chains full outer joins over the per-action
+/// realization tables supplied by `realizations`, coalesces variable
+/// bindings, deduplicates, and splits the result into full and partial
+/// realizations. `realizations(i)` returns the ("u", "v", ...) table of
+/// concrete realizations of pattern action i (columns beyond u/v are
+/// ignored), or nullptr when the action has none; the returned pointer must
+/// stay valid for the duration of the call. Value bindings of the pattern
+/// are applied here, so callers provide unfiltered tables.
+///
+/// Sharing this fold is what makes the online detector's differential
+/// identity with the batch sweep structural rather than coincidental: both
+/// paths differ only in how the realization tables are produced.
+[[nodiscard]] Result<PartialUpdateReport> DetectPartialsFromRealizations(
+    const Pattern& pattern, const TimeWindow& window,
+    const TypeTaxonomy& taxonomy,
+    const std::function<const relational::Table*(size_t action_index)>&
+        realizations,
+    const PartialDetectorOptions& options);
 
 /// Algorithm 3: identifies partial updates of a pattern in a window by
 /// chaining *full outer joins* over the pattern's action realizations in a

@@ -148,12 +148,35 @@ Status WriteSearchReportJson(const WindowSearchResult& result,
   return Status::OK();
 }
 
-Status WriteDetectionReportJson(const PartialUpdateReport& report,
-                                const TypeTaxonomy& taxonomy,
-                                const EntityRegistry& registry,
-                                std::ostream* out) {
-  JsonWriter w(out, /*pretty=*/true);
-  w.BeginObject();
+namespace {
+
+void ProvenanceBody(JsonWriter* w, const ReportProvenance& p) {
+  w->Key("snapshot_format_version");
+  w->Int(p.snapshot_format_version);
+  w->Key("corpus_id");
+  w->String(p.corpus_id);
+  w->Key("tool");
+  w->String(p.tool);
+  w->Key("created_unix");
+  w->Int(p.created_unix);
+  w->Key("mining_options");
+  w->BeginObject();
+  w->Key("frequency_threshold");
+  w->Number(p.frequency_threshold);
+  w->Key("max_abstraction_lift");
+  w->Int(p.max_abstraction_lift);
+  w->Key("max_pattern_actions");
+  w->Int(static_cast<int64_t>(p.max_pattern_actions));
+  w->Key("mine_relative");
+  w->Bool(p.mine_relative);
+  w->EndObject();
+}
+
+/// The members of one detection-report object (caller opens/closes it).
+void DetectionReportBody(JsonWriter* w_ptr, const PartialUpdateReport& report,
+                         const TypeTaxonomy& taxonomy,
+                         const EntityRegistry& registry) {
+  JsonWriter& w = *w_ptr;
   w.Key("pattern");
   w.BeginObject();
   PatternBody(&w, report.pattern, taxonomy, &registry);
@@ -215,13 +238,60 @@ Status WriteDetectionReportJson(const PartialUpdateReport& report,
     w.EndObject();
   }
   w.EndArray();
-  w.EndObject();
+}
+
+/// Shared tail: trailing newline + flush + stream-failure check.
+Status FinishJsonStream(std::ostream* out) {
   (*out) << '\n';
   out->flush();
   if (!out->good()) {
     return Status::Internal("detection report write failed (stream error)");
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status WriteDetectionReportJson(const PartialUpdateReport& report,
+                                const TypeTaxonomy& taxonomy,
+                                const EntityRegistry& registry,
+                                std::ostream* out,
+                                const ReportProvenance* provenance) {
+  JsonWriter w(out, /*pretty=*/true);
+  w.BeginObject();
+  if (provenance != nullptr) {
+    w.Key("provenance");
+    w.BeginObject();
+    ProvenanceBody(&w, *provenance);
+    w.EndObject();
+  }
+  DetectionReportBody(&w, report, taxonomy, registry);
+  w.EndObject();
+  return FinishJsonStream(out);
+}
+
+Status WriteDetectionReportsJson(
+    const std::vector<PartialUpdateReport>& reports,
+    const TypeTaxonomy& taxonomy, const EntityRegistry& registry,
+    std::ostream* out, const ReportProvenance* provenance) {
+  JsonWriter w(out, /*pretty=*/true);
+  w.BeginObject();
+  if (provenance != nullptr) {
+    w.Key("provenance");
+    w.BeginObject();
+    ProvenanceBody(&w, *provenance);
+    w.EndObject();
+  }
+  w.Key("reports");
+  w.BeginArray();
+  for (const PartialUpdateReport& report : reports) {
+    w.BeginObject();
+    DetectionReportBody(&w, report, taxonomy, registry);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return FinishJsonStream(out);
 }
 
 namespace {

@@ -31,13 +31,38 @@ void WritePatternJson(const Pattern& pattern, const TypeTaxonomy& taxonomy,
                                            const EntityRegistry* registry,
                                            std::ostream* out);
 
+/// Identifies the pattern artifact a detection run consumed, so every online
+/// or batch report is attributable to the snapshot that produced its
+/// patterns. Mirrors serve/pattern_store.h's SnapshotProvenance without a
+/// report → serve dependency; the CLI converts between the two.
+struct ReportProvenance {
+  uint32_t snapshot_format_version = 0;
+  std::string corpus_id;
+  std::string tool;
+  int64_t created_unix = 0;
+  double frequency_threshold = 0;
+  int32_t max_abstraction_lift = 0;
+  uint64_t max_pattern_actions = 0;
+  bool mine_relative = false;
+};
+
 /// JSON for one detection report: the pattern, the window, complete-count,
 /// example completions, and each partial realization with its bound entities
-/// and missing edits. Flushes and reports stream failure as Internal.
-[[nodiscard]] Status WriteDetectionReportJson(const PartialUpdateReport& report,
-                                              const TypeTaxonomy& taxonomy,
-                                              const EntityRegistry& registry,
-                                              std::ostream* out);
+/// and missing edits. When `provenance` is non-null, a "provenance" object
+/// stamping the originating pattern snapshot is included. Flushes and
+/// reports stream failure as Internal.
+[[nodiscard]] Status WriteDetectionReportJson(
+    const PartialUpdateReport& report, const TypeTaxonomy& taxonomy,
+    const EntityRegistry& registry, std::ostream* out,
+    const ReportProvenance* provenance = nullptr);
+
+/// JSON for a whole detection run over many patterns: a top-level object
+/// with the (optional) snapshot provenance and a "reports" array, one
+/// element per pattern in input order.
+[[nodiscard]] Status WriteDetectionReportsJson(
+    const std::vector<PartialUpdateReport>& reports,
+    const TypeTaxonomy& taxonomy, const EntityRegistry& registry,
+    std::ostream* out, const ReportProvenance* provenance = nullptr);
 
 /// CSV of error signals, one row per (pattern, partial realization):
 ///   pattern,window_begin_day,window_end_day,bindings,missing_edits

@@ -1,0 +1,114 @@
+#include "serve/detector_session.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace wiclean {
+
+DetectorSession::DetectorSession(const EntityRegistry* registry,
+                                 DetectorSessionOptions options)
+    : registry_(registry), options_(options) {
+  if (options_.num_threads == 0) options_.num_threads = 1;
+}
+
+DetectorSession::~DetectorSession() {
+  if (started_ && !drained_) {
+    // Abort: cancel the queues so workers unblock, then join via pool
+    // destruction order (pool_ declared after shards_, destroyed first).
+    for (auto& shard : shards_) shard->queue.Cancel();
+  }
+}
+
+Status DetectorSession::Start(const PatternSnapshot& snapshot) {
+  if (started_) return Status::FailedPrecondition("session already started");
+  started_ = true;
+  for (size_t s = 0; s < options_.num_threads; ++s) {
+    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    OnlineDetectorOptions detector_options = options_.detector;
+    detector_options.shard_index = s;
+    detector_options.num_shards = options_.num_threads;
+    shard->detector =
+        std::make_unique<OnlineDetector>(registry_, detector_options);
+    WICLEAN_RETURN_IF_ERROR(shard->detector->LoadPatterns(snapshot));
+    shards_.push_back(std::move(shard));
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    pool_->Submit([this, raw] { WorkerLoop(raw); });
+  }
+  return Status::OK();
+}
+
+void DetectorSession::WorkerLoop(Shard* shard) {
+  FeedItem item;
+  Timer busy;
+  double busy_seconds = 0;
+  while (shard->queue.Pop(&item)) {
+    busy.Restart();
+    Status status =
+        shard->detector->Observe(item.action, item.sequence, &shard->alerts);
+    busy_seconds += busy.ElapsedSeconds();
+    if (!status.ok()) {
+      shard->status = std::move(status);
+      // Unblock the producer; remaining queued events are discarded, the
+      // session surfaces the failure at Drain.
+      shard->queue.Cancel();
+      break;
+    }
+  }
+  shard->busy_seconds = busy_seconds;
+}
+
+bool DetectorSession::Feed(const Action& action) {
+  return FeedWithSequence(action, events_fed_);
+}
+
+bool DetectorSession::FeedWithSequence(const Action& action,
+                                       uint64_t sequence) {
+  Timer timer;
+  bool ok = true;
+  for (auto& shard : shards_) {
+    ok = shard->queue.Push(FeedItem{action, sequence}) && ok;
+  }
+  ++events_fed_;
+  feed_seconds_ += timer.ElapsedSeconds();
+  return ok;
+}
+
+Result<SessionReport> DetectorSession::Drain() {
+  if (!started_) return Status::FailedPrecondition("session not started");
+  if (drained_) return Status::FailedPrecondition("session already drained");
+  drained_ = true;
+  for (auto& shard : shards_) shard->queue.Close();
+  pool_->Wait();
+
+  SessionReport report;
+  report.events_fed = events_fed_;
+  report.feed_seconds = feed_seconds_;
+  for (auto& shard : shards_) {
+    WICLEAN_RETURN_IF_ERROR(shard->status);
+    WICLEAN_RETURN_IF_ERROR(shard->detector->FinishStream(&shard->alerts));
+    const OnlineDetectorStats& s = shard->detector->stats();
+    report.stats.events_observed += s.events_observed;
+    report.stats.events_matched += s.events_matched;
+    report.stats.slot_hits += s.slot_hits;
+    report.stats.late_events += s.late_events;
+    report.stats.patterns_finalized += s.patterns_finalized;
+    report.stats.alerts_with_partials += s.alerts_with_partials;
+    report.stats.finalize_seconds += s.finalize_seconds;
+    report.shard_busy_seconds.push_back(shard->busy_seconds);
+    report.alerts.insert(report.alerts.end(),
+                         std::make_move_iterator(shard->alerts.begin()),
+                         std::make_move_iterator(shard->alerts.end()));
+    shard->alerts.clear();
+  }
+  std::sort(report.alerts.begin(), report.alerts.end(),
+            [](const OnlineAlert& a, const OnlineAlert& b) {
+              return a.pattern_id < b.pattern_id;
+            });
+  return report;
+}
+
+}  // namespace wiclean

@@ -1,0 +1,107 @@
+#ifndef WICLEAN_SERVE_DETECTOR_SESSION_H_
+#define WICLEAN_SERVE_DETECTOR_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "serve/online_detector.h"
+
+namespace wiclean {
+
+struct DetectorSessionOptions {
+  /// Number of pattern shards, each with its own worker thread and
+  /// OnlineDetector. Every shard sees the whole stream (pattern-parallel,
+  /// not data-parallel), so the alert set is identical at any thread count.
+  size_t num_threads = 1;
+  /// Per-shard feed queue capacity; a producer racing ahead of slow shards
+  /// blocks in Feed once a queue fills (backpressure, not unbounded memory).
+  size_t queue_capacity = 256;
+  /// Per-shard detector options; shard_index/num_shards are assigned by the
+  /// session.
+  OnlineDetectorOptions detector;
+};
+
+/// End-of-run summary: merged alerts plus per-stage counters and timings.
+struct SessionReport {
+  /// Alerts of all shards, ordered by pattern id (deterministic across
+  /// thread counts).
+  std::vector<OnlineAlert> alerts;
+  /// Shard stats summed. events_observed counts every (event, shard) pair —
+  /// it is events_fed * num_threads when nothing was dropped.
+  OnlineDetectorStats stats;
+  uint64_t events_fed = 0;
+  /// Producer-side wall time spent inside Feed (includes backpressure).
+  double feed_seconds = 0;
+  /// Per-shard wall time spent observing events (excludes queue waits).
+  std::vector<double> shard_busy_seconds;
+};
+
+/// Runs OnlineDetector shards over a ThreadPool, one BoundedQueue per shard,
+/// broadcasting every fed event to all shards. Graceful drain: Drain()
+/// closes the queues, lets every worker consume its backlog, finalizes the
+/// remaining patterns, and merges per-shard alerts deterministically.
+///
+/// Usage: Start(snapshot) → Feed(action)* → Drain().
+class DetectorSession {
+ public:
+  /// `registry` must outlive the session.
+  DetectorSession(const EntityRegistry* registry,
+                  DetectorSessionOptions options);
+  ~DetectorSession();
+
+  DetectorSession(const DetectorSession&) = delete;
+  DetectorSession& operator=(const DetectorSession&) = delete;
+
+  /// Spawns the shard workers. `snapshot` may be destroyed after Start
+  /// returns.
+  [[nodiscard]] Status Start(const PatternSnapshot& snapshot);
+
+  /// Broadcasts one event, stamping its canonical sequence number in feed
+  /// order (the right choice for in-order streams). Returns false if the
+  /// session is aborting (a shard failed); Drain() then reports the cause.
+  bool Feed(const Action& action);
+
+  /// Broadcast with an explicit canonical sequence rank — for out-of-order
+  /// streams whose canonical order (e.g. revision ids) is known.
+  bool FeedWithSequence(const Action& action, uint64_t sequence);
+
+  /// Closes the stream, drains every shard, finalizes remaining patterns,
+  /// and returns the merged report. Call exactly once, after Start.
+  [[nodiscard]] Result<SessionReport> Drain();
+
+ private:
+  struct FeedItem {
+    Action action;
+    uint64_t sequence = 0;
+  };
+
+  /// Everything one shard owns; workers touch only their own Shard until
+  /// Drain has joined them.
+  struct Shard {
+    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+    BoundedQueue<FeedItem> queue;
+    std::unique_ptr<OnlineDetector> detector;
+    std::vector<OnlineAlert> alerts;
+    Status status = Status::OK();
+    double busy_seconds = 0;
+  };
+
+  void WorkerLoop(Shard* shard);
+
+  const EntityRegistry* registry_;
+  DetectorSessionOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  uint64_t events_fed_ = 0;
+  double feed_seconds_ = 0;
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_SERVE_DETECTOR_SESSION_H_

@@ -1,0 +1,148 @@
+// Deterministic fuzz of the WCPS snapshot reader: random truncations, byte
+// flips, splices, and pure-noise inputs must always come back as a non-OK
+// Status — never a crash, hang, or out-of-bounds read. The CI `serve` lane
+// runs this under ASan/UBSan, which is where the "no out-of-bounds read"
+// half of the contract is actually enforced.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "serve/pattern_store.h"
+
+namespace wiclean {
+namespace {
+
+class SnapshotFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    thing_ = *tax_.AddRoot("thing");
+    TypeId person = *tax_.AddType("person", thing_);
+    TypeId player = *tax_.AddType("player", person);
+    TypeId club = *tax_.AddType("club", thing_);
+
+    snapshot_.provenance.corpus_id = "fuzz corpus";
+    snapshot_.provenance.tool = "snapshot_fuzz_test";
+    snapshot_.provenance.created_unix = 1234567890;
+    for (int n = 0; n < 4; ++n) {
+      Pattern p;
+      int a = p.AddVar(player);
+      int b = p.AddVar(club);
+      ASSERT_TRUE(
+          p.AddAction(EditOp::kAdd, a, "rel_" + std::to_string(n), b).ok());
+      ASSERT_TRUE(p.AddAction(EditOp::kRemove, b, "inv", a).ok());
+      ASSERT_TRUE(p.SetSourceVar(a).ok());
+      snapshot_.patterns.push_back(StoredPattern{
+          p, TimeWindow{n * 100, n * 100 + 500}, 0.9, 10u + n, 0.8});
+    }
+    ASSERT_TRUE(EncodeSnapshot(snapshot_, tax_, &bytes_).ok());
+  }
+
+  /// Decoding must either fail or — when a mutation happens to cancel out —
+  /// succeed; it must never crash. Returns true iff decode succeeded.
+  bool TryDecode(const std::string& bytes) {
+    return DecodeSnapshot(bytes, tax_).ok();
+  }
+
+  TypeTaxonomy tax_;
+  TypeId thing_;
+  PatternSnapshot snapshot_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotFuzzTest, RandomTruncations) {
+  std::mt19937 rng(0x51c1ea);
+  std::uniform_int_distribution<size_t> len(0, bytes_.size() - 1);
+  for (int round = 0; round < 2000; ++round) {
+    std::string cut = bytes_.substr(0, len(rng));
+    EXPECT_FALSE(TryDecode(cut)) << "truncation to " << cut.size() << " ok";
+  }
+}
+
+TEST_F(SnapshotFuzzTest, RandomByteFlips) {
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<size_t> pos(0, bytes_.size() - 1);
+  std::uniform_int_distribution<int> value(1, 255);
+  for (int round = 0; round < 5000; ++round) {
+    std::string corrupt = bytes_;
+    size_t p = pos(rng);
+    corrupt[p] = static_cast<char>(corrupt[p] ^ value(rng));
+    // Any single-byte change lands in a CRC-covered payload or an exactly-
+    // validated header field, so it must be rejected.
+    EXPECT_FALSE(TryDecode(corrupt)) << "flip at " << p << " decoded";
+  }
+}
+
+TEST_F(SnapshotFuzzTest, RandomMultiByteCorruption) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<size_t> pos(0, bytes_.size() - 1);
+  std::uniform_int_distribution<int> burst(2, 16);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 2000; ++round) {
+    std::string corrupt = bytes_;
+    int n = burst(rng);
+    for (int i = 0; i < n; ++i) {
+      corrupt[pos(rng)] = static_cast<char>(byte(rng));
+    }
+    // Multi-byte mutations could in principle recreate a valid file, but the
+    // chance of forging two CRC-32s is negligible; treat success as failure
+    // so a CRC regression cannot hide here.
+    EXPECT_FALSE(TryDecode(corrupt)) << "round " << round << " decoded";
+  }
+}
+
+TEST_F(SnapshotFuzzTest, RandomSplices) {
+  // Duplicate, delete, or swap whole chunks — exercises the section walker
+  // and every length-prefix bound.
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<size_t> pos(0, bytes_.size());
+  for (int round = 0; round < 2000; ++round) {
+    size_t a = pos(rng), b = pos(rng);
+    if (a > b) std::swap(a, b);
+    std::string spliced;
+    switch (round % 3) {
+      case 0:  // delete [a, b)
+        spliced = bytes_.substr(0, a) + bytes_.substr(b);
+        break;
+      case 1:  // duplicate [a, b)
+        spliced = bytes_.substr(0, b) + bytes_.substr(a);
+        break;
+      default:  // rotate around a
+        spliced = bytes_.substr(a) + bytes_.substr(0, a);
+        break;
+    }
+    if (spliced == bytes_) continue;
+    EXPECT_FALSE(TryDecode(spliced)) << "splice round " << round << " ok";
+  }
+}
+
+TEST_F(SnapshotFuzzTest, PureNoise) {
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<size_t> len(0, 4096);
+  for (int round = 0; round < 1000; ++round) {
+    std::string noise(len(rng), '\0');
+    for (char& c : noise) c = static_cast<char>(byte(rng));
+    EXPECT_FALSE(TryDecode(noise)) << "noise round " << round << " decoded";
+  }
+}
+
+TEST_F(SnapshotFuzzTest, NoiseWithValidHeader) {
+  // Harder inputs: a correct magic + version so the fuzz reaches the section
+  // walker instead of bailing at byte 0.
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<size_t> len(0, 1024);
+  for (int round = 0; round < 1000; ++round) {
+    std::string input = bytes_.substr(0, 12);  // magic + version + sections
+    size_t n = len(rng);
+    for (size_t i = 0; i < n; ++i) {
+      input += static_cast<char>(byte(rng));
+    }
+    EXPECT_FALSE(TryDecode(input)) << "header-noise round " << round << " ok";
+  }
+}
+
+}  // namespace
+}  // namespace wiclean

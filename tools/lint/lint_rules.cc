@@ -203,6 +203,15 @@ std::vector<LintFinding> LintFile(const std::string& path,
   }
 
   // --- per-line token rules ----------------------------------------------
+  // The snapshot reader is the one module allowed to touch raw wire bytes;
+  // everything else must go through its bounds-checked helpers.
+  auto path_ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           std::string_view(path).substr(path.size() - suffix.size()) ==
+               suffix;
+  };
+  const bool memcpy_exempt = path_ends_with("serve/pattern_store.cc");
+
   // Sliding window of recent stripped lines for the unchecked-value rule.
   constexpr size_t kValueCheckWindow = 6;  // current line + 5 above
   std::deque<std::string> recent;
@@ -222,6 +231,20 @@ std::vector<LintFinding> LintFile(const std::string& path,
         report(line_number, "banned-function",
                std::string(banned.name) + "() is banned: " +
                    std::string(banned.reason));
+      }
+    }
+
+    // raw-memcpy: applies everywhere (tests included) except the designated
+    // deserialization module — memcpy-into-struct parsing must not spread.
+    if (!memcpy_exempt) {
+      size_t pos = 0;
+      if (FindWord(stripped, "memcpy", &pos) &&
+          stripped.size() > pos + 6 && stripped[pos + 6] == '(' &&
+          !Suppressed(raw, "raw-memcpy")) {
+        report(line_number, "raw-memcpy",
+               "memcpy() is banned outside serve/pattern_store.cc: "
+               "deserialize through the bounds-checked reader helpers, not "
+               "byte blits into structs");
       }
     }
 

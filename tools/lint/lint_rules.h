@@ -27,6 +27,12 @@ namespace lint {
 ///                     ok() check in the preceding lines (use
 ///                     WICLEAN_ASSIGN_OR_RETURN / WICLEAN_CHECK_OK, or keep
 ///                     the check adjacent)
+///   raw-memcpy        memcpy() calls — blitting wire bytes into structs
+///                     skips bounds and validity checks, so binary
+///                     deserialization is confined to the bounds-checked
+///                     readers in src/serve/pattern_store.cc (exempt);
+///                     everywhere else use those helpers or field-by-field
+///                     byte composition
 
 /// One rule violation at a file:line.
 struct LintFinding {

@@ -169,6 +169,31 @@ TEST(LintFileTest, ValueInTestsUnrestricted) {
       LintFile("tests/a_test.cc", "Use(r.value());\n", true).empty());
 }
 
+TEST(LintFileTest, RawMemcpyFlaggedEverywhereButTheStore) {
+  const std::string content = "std::memcpy(&header, bytes, sizeof(header));\n";
+  EXPECT_TRUE(HasRule(LintFile("src/a.cc", content, false), "raw-memcpy"));
+  // Tests are not exempt: parsing via byte blits is wrong there too.
+  EXPECT_TRUE(
+      HasRule(LintFile("tests/a_test.cc", content, true), "raw-memcpy"));
+  // The designated deserialization module is exempt.
+  EXPECT_TRUE(
+      LintFile("src/serve/pattern_store.cc", content, false).empty());
+}
+
+TEST(LintFileTest, RawMemcpyNeedsCallSyntax) {
+  const std::string content =
+      "// memcpy would be wrong here\n"
+      "int memcpy_count = 0;\n"
+      "void LikeMemcpy(int memcpy_arg);\n";
+  EXPECT_TRUE(LintFile("src/a.cc", content, false).empty());
+}
+
+TEST(LintFileTest, RawMemcpySuppressible) {
+  const std::string content =
+      "std::memcpy(dst, src, n);  // lint:allow(raw-memcpy)\n";
+  EXPECT_TRUE(LintFile("src/a.cc", content, false).empty());
+}
+
 TEST(LintFileTest, SuppressionIsPerRule) {
   // A raw-new suppression does not silence a banned function on the line.
   const std::string content =
@@ -216,6 +241,7 @@ TEST(LintFixtureTest, BadFixturesEachTripTheirRule) {
       {"bad_raw_new.cc", "raw-new"},
       {"bad_todo.cc", "todo-format"},
       {"bad_unchecked_value.cc", "unchecked-value"},
+      {"bad_memcpy.cc", "raw-memcpy"},
   };
   for (const auto& c : kCases) {
     std::vector<LintFinding> f =

@@ -1,0 +1,14 @@
+// Lint fixture: memcpy-into-struct deserialization outside the snapshot
+// reader.
+#include <cstring>
+
+struct Header {
+  unsigned magic;
+  unsigned version;
+};
+
+Header ParseHeader(const char* wire) {
+  Header h;
+  std::memcpy(&h, wire, sizeof(h));
+  return h;
+}

@@ -19,9 +19,23 @@
 //                  [--threshold X] [--csv FILE] [--max-print N] [--threads N]
 //     Mines, then runs partial-update detection (Algorithm 3) on every
 //     discovered pattern and reports the signaled potential errors.
+//     With --patterns SNAPSHOT the mining step is skipped and the packed
+//     patterns are used instead; add --online 1 to replay the revision log
+//     through the incremental serving detector (identical alert set).
+//
+//   wiclean pack --dump F --taxonomy F --alignment F --seed-type NAME
+//                --out SNAPSHOT [--threshold X] [--corpus-id ID]
+//     Mines and writes the discovered patterns into a versioned,
+//     checksummed binary snapshot (the serving artifact).
+//
+//   wiclean serve --dump F --taxonomy F --alignment F --patterns SNAPSHOT
+//                 [--feed-threads N] [--allowed-skew SECONDS] [--json FILE]
+//     Replays the corpus's revision log as an event stream through the
+//     online detector session and reports alerts plus throughput.
 //
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -30,6 +44,10 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
 
 #include "core/partial.h"
 #include "core/window_search.h"
@@ -37,6 +55,8 @@
 #include "dump/ingest.h"
 #include "dump/quarantine.h"
 #include "report/report.h"
+#include "serve/detector_session.h"
+#include "serve/pattern_store.h"
 #include "synth/dump_render.h"
 #include "synth/synthesizer.h"
 
@@ -108,7 +128,8 @@ struct LoadedCorpus {
   Timestamp end = 0;
 };
 
-Result<LoadedCorpus> LoadCorpus(const Args& args) {
+Result<LoadedCorpus> LoadCorpus(const Args& args,
+                                bool require_seed_type = true) {
   LoadedCorpus corpus;
 
   WICLEAN_ASSIGN_OR_RETURN(std::string taxonomy_path,
@@ -178,9 +199,12 @@ Result<LoadedCorpus> LoadCorpus(const Args& args) {
                ingest_options.num_threads == 1 ? "" : "s",
                stats.ToString().c_str());
 
-  WICLEAN_ASSIGN_OR_RETURN(std::string seed_name, args.Require("seed-type"));
-  WICLEAN_ASSIGN_OR_RETURN(corpus.seed_type,
-                           corpus.taxonomy->Find(seed_name));
+  if (require_seed_type) {
+    WICLEAN_ASSIGN_OR_RETURN(std::string seed_name,
+                             args.Require("seed-type"));
+    WICLEAN_ASSIGN_OR_RETURN(corpus.seed_type,
+                             corpus.taxonomy->Find(seed_name));
+  }
 
   if (!corpus.store.TimeSpan(&corpus.begin, &corpus.end)) {
     return Status::FailedPrecondition("dump contains no link edits");
@@ -207,6 +231,209 @@ Result<WindowSearchResult> RunSearch(const LoadedCorpus& corpus,
   options.mine_relative = true;
   WindowSearch search(corpus.registry.get(), &corpus.store, options);
   return search.Run(corpus.seed_type, corpus.begin, corpus.end);
+}
+
+ReportProvenance ToReportProvenance(const SnapshotProvenance& p) {
+  ReportProvenance out;
+  out.snapshot_format_version = kSnapshotFormatVersion;
+  out.corpus_id = p.corpus_id;
+  out.tool = p.tool;
+  out.created_unix = p.created_unix;
+  out.frequency_threshold = p.frequency_threshold;
+  out.max_abstraction_lift = p.max_abstraction_lift;
+  out.max_pattern_actions = p.max_pattern_actions;
+  out.mine_relative = p.mine_relative;
+  return out;
+}
+
+/// The corpus's revision log as one canonical event stream: all per-entity
+/// logs concatenated (entity-id order), sequence-stamped, then stably sorted
+/// by timestamp. The pre-sort sequence rank preserves per-entity log order
+/// for equal timestamps, which is exactly the tie order batch reduction sees.
+std::vector<std::pair<Action, uint64_t>> BuildCanonicalFeed(
+    const EntityRegistry& registry, const RevisionStore& store) {
+  std::vector<std::pair<Action, uint64_t>> events;
+  for (EntityId e = 0; e < static_cast<EntityId>(registry.size()); ++e) {
+    for (const Action& a : store.LogOf(e)) {
+      events.emplace_back(a, static_cast<uint64_t>(events.size()));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.time < b.first.time;
+                   });
+  return events;
+}
+
+int PrintReports(const LoadedCorpus& corpus,
+                 const std::vector<PartialUpdateReport>& reports,
+                 const Args& args) {
+  size_t total_signals = 0;
+  for (const PartialUpdateReport& report : reports) {
+    total_signals += report.partials.size();
+  }
+  std::printf("%zu pattern(s) scanned, %zu potential error(s)\n",
+              reports.size(), total_signals);
+  size_t max_print = static_cast<size_t>(args.GetInt("max-print", 20));
+  size_t printed = 0;
+  for (const PartialUpdateReport& report : reports) {
+    for (const PartialRealization& pr : report.partials) {
+      if (printed++ >= max_print) break;
+      std::printf("  potential error in %s:",
+                  report.window.ToString().c_str());
+      for (size_t mi : pr.missing_actions) {
+        const AbstractAction& a = report.pattern.actions()[mi];
+        auto name = [&](int v) -> std::string {
+          return pr.bindings[v].has_value()
+                     ? corpus.registry->Get(*pr.bindings[v]).name
+                     : "?";
+        };
+        std::printf(" missing [%s %s --%s--> %s]",
+                    a.op == EditOp::kAdd ? "+" : "-",
+                    name(a.source_var).c_str(), a.relation.c_str(),
+                    name(a.target_var).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  if (printed > max_print) {
+    std::printf("  ... (%zu more; use --csv to export all)\n",
+                printed - max_print);
+  }
+  return 0;
+}
+
+int WriteOptionalOutputs(const LoadedCorpus& corpus,
+                         const std::vector<PartialUpdateReport>& reports,
+                         const ReportProvenance* provenance,
+                         const Args& args) {
+  std::string json_path = args.Get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) return Fail(Status::Internal("cannot write " + json_path));
+    Status status = WriteDetectionReportsJson(reports, *corpus.taxonomy,
+                                              *corpus.registry, &f,
+                                              provenance);
+    if (!status.ok()) return Fail(status);
+    std::printf("JSON report written to %s\n", json_path.c_str());
+  }
+  std::string csv_path = args.Get("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    if (!f) return Fail(Status::Internal("cannot write " + csv_path));
+    std::vector<std::pair<const PartialUpdateReport*, std::string>> rows;
+    for (const PartialUpdateReport& report : reports) {
+      rows.push_back({&report, report.pattern.ToString(*corpus.taxonomy)});
+    }
+    Status status = WriteSignalsCsv(rows, *corpus.registry, &f);
+    if (!status.ok()) return Fail(status);
+    std::printf("CSV written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int RunPack(const Args& args) {
+  Result<LoadedCorpus> corpus = LoadCorpus(args);
+  if (!corpus.ok()) return Fail(corpus.status());
+  Result<std::string> out_path = args.Require("out");
+  if (!out_path.ok()) return Fail(out_path.status());
+  Result<WindowSearchResult> result = RunSearch(*corpus, args);
+  if (!result.ok()) return Fail(result.status());
+
+  PatternSnapshot snapshot;
+  snapshot.provenance.corpus_id =
+      args.Get("corpus-id", args.Get("dump", ""));
+  snapshot.provenance.tool = "wiclean pack";
+  snapshot.provenance.created_unix = args.GetInt("created-unix", 0);
+  snapshot.provenance.frequency_threshold =
+      args.GetDouble("threshold", 0.7);
+  snapshot.provenance.max_abstraction_lift =
+      static_cast<int32_t>(args.GetInt("abstraction-lift", 1));
+  snapshot.provenance.max_pattern_actions =
+      static_cast<uint64_t>(args.GetInt("max-actions", 6));
+  snapshot.provenance.mine_relative = true;
+  for (const DiscoveredPattern& dp : result->patterns) {
+    snapshot.patterns.push_back(StoredPattern{dp.mined.pattern,
+                                              dp.mined.window,
+                                              dp.mined.frequency,
+                                              dp.mined.support, dp.threshold});
+  }
+  Status status = SaveSnapshotFile(snapshot, *corpus->taxonomy, *out_path);
+  if (!status.ok()) return Fail(status);
+  // Verify the artifact is loadable before declaring success.
+  Result<PatternSnapshot> reloaded =
+      LoadSnapshotFile(*out_path, *corpus->taxonomy);
+  if (!reloaded.ok()) return Fail(reloaded.status());
+  std::printf("packed %zu pattern(s) into %s\n", snapshot.patterns.size(),
+              out_path->c_str());
+  return 0;
+}
+
+/// Shared online path of `wiclean serve` and `wiclean detect --online 1`:
+/// replays the corpus's revision log through a DetectorSession against the
+/// packed patterns.
+int RunOnline(const LoadedCorpus& corpus, const PatternSnapshot& snapshot,
+              const Args& args) {
+  DetectorSessionOptions options;
+  int64_t feed_threads = args.GetInt("feed-threads", 1);
+  if (feed_threads < 1) {
+    return Fail(Status::InvalidArgument("--feed-threads must be >= 1"));
+  }
+  options.num_threads = static_cast<size_t>(feed_threads);
+  options.detector.allowed_skew = args.GetInt("allowed-skew", 0);
+  options.detector.detector.max_abstraction_lift =
+      snapshot.provenance.max_abstraction_lift;
+
+  std::vector<std::pair<Action, uint64_t>> feed =
+      BuildCanonicalFeed(*corpus.registry, corpus.store);
+
+  DetectorSession session(corpus.registry.get(), options);
+  Status status = session.Start(snapshot);
+  if (!status.ok()) return Fail(status);
+  Timer wall;
+  for (const auto& [action, sequence] : feed) {
+    if (!session.FeedWithSequence(action, sequence)) break;
+  }
+  Result<SessionReport> report = session.Drain();
+  if (!report.ok()) return Fail(report.status());
+  double seconds = wall.ElapsedSeconds();
+
+  std::fprintf(stderr,
+               "served %llu event(s) on %zu shard thread(s) in %.3fs "
+               "(%.0f actions/s), %llu pattern(s) finalized, %llu alert(s)\n",
+               static_cast<unsigned long long>(report->events_fed),
+               options.num_threads, seconds,
+               seconds > 0 ? static_cast<double>(report->events_fed) / seconds
+                           : 0.0,
+               static_cast<unsigned long long>(
+                   report->stats.patterns_finalized),
+               static_cast<unsigned long long>(
+                   report->stats.alerts_with_partials));
+
+  std::vector<PartialUpdateReport> reports;
+  reports.reserve(report->alerts.size());
+  for (OnlineAlert& alert : report->alerts) {
+    // Single-action patterns cannot signal errors; the batch CLI path skips
+    // them too, so both modes report the same pattern set.
+    if (alert.report.pattern.num_actions() < 2) continue;
+    reports.push_back(std::move(alert.report));
+  }
+  int rc = PrintReports(corpus, reports, args);
+  if (rc != 0) return rc;
+  ReportProvenance provenance = ToReportProvenance(snapshot.provenance);
+  return WriteOptionalOutputs(corpus, reports, &provenance, args);
+}
+
+int RunServe(const Args& args) {
+  Result<LoadedCorpus> corpus =
+      LoadCorpus(args, /*require_seed_type=*/false);
+  if (!corpus.ok()) return Fail(corpus.status());
+  Result<std::string> patterns_path = args.Require("patterns");
+  if (!patterns_path.ok()) return Fail(patterns_path.status());
+  Result<PatternSnapshot> snapshot =
+      LoadSnapshotFile(*patterns_path, *corpus->taxonomy);
+  if (!snapshot.ok()) return Fail(snapshot.status());
+  return RunOnline(*corpus, *snapshot, args);
 }
 
 int RunSynth(const Args& args) {
@@ -287,83 +514,94 @@ int RunMine(const Args& args) {
 }
 
 int RunDetect(const Args& args) {
-  Result<LoadedCorpus> corpus = LoadCorpus(args);
+  std::string patterns_path = args.Get("patterns", "");
+  std::string online = args.Get("online", "");
+  bool use_online = online == "1" || online == "true";
+  if (use_online && patterns_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--online requires --patterns SNAPSHOT (run 'wiclean pack' first)"));
+  }
+
+  Result<LoadedCorpus> corpus =
+      LoadCorpus(args, /*require_seed_type=*/patterns_path.empty());
   if (!corpus.ok()) return Fail(corpus.status());
-  Result<WindowSearchResult> result = RunSearch(*corpus, args);
-  if (!result.ok()) return Fail(result.status());
+
+  // Assemble the pattern set: either the packed snapshot, or mine inline.
+  PatternSnapshot snapshot;
+  if (!patterns_path.empty()) {
+    Result<PatternSnapshot> loaded =
+        LoadSnapshotFile(patterns_path, *corpus->taxonomy);
+    if (!loaded.ok()) return Fail(loaded.status());
+    snapshot = std::move(loaded).value();
+  } else {
+    Result<WindowSearchResult> result = RunSearch(*corpus, args);
+    if (!result.ok()) return Fail(result.status());
+    snapshot.provenance.corpus_id = args.Get("dump", "");
+    snapshot.provenance.tool = "wiclean detect";
+    snapshot.provenance.frequency_threshold =
+        args.GetDouble("threshold", 0.7);
+    snapshot.provenance.max_abstraction_lift =
+        static_cast<int32_t>(args.GetInt("abstraction-lift", 1));
+    snapshot.provenance.max_pattern_actions =
+        static_cast<uint64_t>(args.GetInt("max-actions", 6));
+    snapshot.provenance.mine_relative = true;
+    for (const DiscoveredPattern& dp : result->patterns) {
+      snapshot.patterns.push_back(
+          StoredPattern{dp.mined.pattern, dp.mined.window,
+                        dp.mined.frequency, dp.mined.support, dp.threshold});
+    }
+  }
+
+  if (use_online) return RunOnline(*corpus, snapshot, args);
 
   PartialDetectorOptions detector_options;
   detector_options.max_abstraction_lift =
-      static_cast<int>(args.GetInt("abstraction-lift", 1));
+      patterns_path.empty()
+          ? static_cast<int>(args.GetInt("abstraction-lift", 1))
+          : snapshot.provenance.max_abstraction_lift;
   PartialUpdateDetector detector(corpus->registry.get(), &corpus->store,
                                  detector_options);
 
   std::vector<PartialUpdateReport> reports;
-  size_t total_signals = 0;
-  for (const DiscoveredPattern& dp : result->patterns) {
-    if (dp.mined.pattern.num_actions() < 2) continue;
+  for (const StoredPattern& sp : snapshot.patterns) {
+    if (sp.pattern.num_actions() < 2) continue;
     Result<PartialUpdateReport> report =
-        detector.Detect(dp.mined.pattern, dp.mined.window);
+        detector.Detect(sp.pattern, sp.window);
     if (!report.ok()) return Fail(report.status());
-    total_signals += report->partials.size();
     reports.push_back(std::move(report).value());
   }
 
-  std::printf("%zu pattern(s) scanned, %zu potential error(s)\n",
-              reports.size(), total_signals);
-  size_t max_print = static_cast<size_t>(args.GetInt("max-print", 20));
-  size_t printed = 0;
-  for (const PartialUpdateReport& report : reports) {
-    for (const PartialRealization& pr : report.partials) {
-      if (printed++ >= max_print) break;
-      std::printf("  potential error in %s:",
-                  report.window.ToString().c_str());
-      for (size_t mi : pr.missing_actions) {
-        const AbstractAction& a = report.pattern.actions()[mi];
-        auto name = [&](int v) -> std::string {
-          return pr.bindings[v].has_value()
-                     ? corpus->registry->Get(*pr.bindings[v]).name
-                     : "?";
-        };
-        std::printf(" missing [%s %s --%s--> %s]",
-                    a.op == EditOp::kAdd ? "+" : "-",
-                    name(a.source_var).c_str(), a.relation.c_str(),
-                    name(a.target_var).c_str());
-      }
-      std::printf("\n");
-    }
-  }
-  if (printed > max_print) {
-    std::printf("  ... (%zu more; use --csv to export all)\n",
-                printed - max_print);
-  }
-
-  std::string csv_path = args.Get("csv", "");
-  if (!csv_path.empty()) {
-    std::ofstream f(csv_path);
-    if (!f) return Fail(Status::Internal("cannot write " + csv_path));
-    std::vector<std::pair<const PartialUpdateReport*, std::string>> rows;
-    for (const PartialUpdateReport& report : reports) {
-      rows.push_back(
-          {&report, report.pattern.ToString(*corpus->taxonomy)});
-    }
-    Status status = WriteSignalsCsv(rows, *corpus->registry, &f);
-    if (!status.ok()) return Fail(status);
-    std::printf("CSV written to %s\n", csv_path.c_str());
-  }
-  return 0;
+  int rc = PrintReports(*corpus, reports, args);
+  if (rc != 0) return rc;
+  ReportProvenance provenance = ToReportProvenance(snapshot.provenance);
+  return WriteOptionalOutputs(*corpus, reports, &provenance, args);
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wiclean <synth|mine|detect> [--flag value ...]\n"
+               "usage: wiclean <synth|mine|detect|pack|serve> "
+               "[--flag value ...]\n"
                "  synth  --out-dir DIR [--seeds N] [--years N] "
                "[--domains soccer,cinema,politics,software] [--rng-seed S]\n"
                "  mine   --dump F --taxonomy F --alignment F --seed-type T "
                "[--threshold X] [--json F] [--threads N] [ingest flags]\n"
                "  detect --dump F --taxonomy F --alignment F --seed-type T "
-               "[--threshold X] [--csv F] [--max-print N] [--threads N] "
-               "[ingest flags]\n"
+               "[--threshold X] [--csv F] [--json F] [--max-print N] "
+               "[--threads N] [ingest flags]\n"
+               "         [--patterns SNAPSHOT [--online 1]]  use packed "
+               "patterns; --online replays\n"
+               "         the revision log through the incremental detector "
+               "(same alerts)\n"
+               "  pack   --dump F --taxonomy F --alignment F --seed-type T "
+               "--out SNAPSHOT\n"
+               "         [--threshold X] [--corpus-id ID] [--created-unix S] "
+               "mine + write the\n"
+               "         versioned, checksummed binary pattern snapshot\n"
+               "  serve  --dump F --taxonomy F --alignment F "
+               "--patterns SNAPSHOT\n"
+               "         [--feed-threads N] [--allowed-skew S] [--json F] "
+               "stream the corpus\n"
+               "         through the online detector session\n"
                "--threads parallelizes dump parse/diff ingestion; output is\n"
                "identical to --threads 1. The ingested: line on stderr "
                "reports per-stage (read/parse/merge) times.\n"
@@ -387,6 +625,8 @@ int Main(int argc, char** argv) {
   if (command == "synth") return RunSynth(*args);
   if (command == "mine") return RunMine(*args);
   if (command == "detect") return RunDetect(*args);
+  if (command == "pack") return RunPack(*args);
+  if (command == "serve") return RunServe(*args);
   return Usage();
 }
 
