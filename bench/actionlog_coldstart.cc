@@ -1,0 +1,260 @@
+// Cold-start harness for the WCAL action log: how much faster is replaying
+// the binary action artifact than re-running the XML parse/diff pipeline,
+// and what does block-seek selective ingestion buy on top.
+//
+// The run is self-verifying: every replayed store is fingerprinted with
+// StoreDigest and compared against the direct-XML-ingest store; a mismatch
+// aborts the run, so the reported speedups can only come from an artifact
+// that reproduces ingestion exactly.
+//
+// Usage: actionlog_coldstart [seeds] [output.json]
+//   seeds        largest world size (default 800; also runs seeds/4, seeds/2)
+//   output.json  result file (default: BENCH_actionlog.json in the CWD)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "dump/page_source.h"
+#include "dump/pipeline.h"
+#include "log/action_log_reader.h"
+#include "log/action_log_writer.h"
+#include "log/replay.h"
+#include "revision/revision_store.h"
+
+namespace wiclean {
+namespace {
+
+constexpr int kReps = 3;
+
+void Require(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "SELF-CHECK FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+template <typename Fn>
+double MeasureBest(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Timer timer;
+    fn();
+    double elapsed = timer.ElapsedSeconds();
+    if (rep == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct SizeResult {
+  size_t seeds = 0;
+  size_t actions = 0;
+  size_t xml_bytes = 0;
+  size_t wcal_bytes = 0;
+  size_t blocks = 0;
+  double xml_ingest_seconds = 0;
+  double log_write_seconds = 0;  // one-time cost of producing the artifact
+  double replay_seconds = 0;
+  double replay_seconds_4t = 0;
+  // Selective ingestion of one subject decile.
+  size_t selective_blocks_decoded = 0;
+  double selective_seconds = 0;
+};
+
+SizeResult RunSize(size_t seeds, const std::string& wcal_path) {
+  SizeResult out;
+  out.seeds = seeds;
+  SynthWorld world = bench::MakeSoccerWorld(seeds);
+  const EntityId num_entities =
+      static_cast<EntityId>(world.registry->size());
+
+  std::ostringstream dump;
+  if (!WriteDump(world, 0, kSecondsPerYear, &dump).ok()) {
+    std::fprintf(stderr, "dump rendering failed\n");
+    std::exit(1);
+  }
+  const std::string xml = dump.str();
+  out.xml_bytes = xml.size();
+
+  // Reference: the full XML parse/diff path, the cost WCAL amortizes away.
+  RevisionStore direct;
+  out.xml_ingest_seconds = MeasureBest([&] {
+    RevisionStore store;
+    std::istringstream in(xml);
+    Result<IngestStats> stats = IngestDump(&in, *world.registry, &store, {});
+    Require(stats.ok(), "direct XML ingest");
+    direct = std::move(store);
+  });
+  out.actions = direct.num_actions();
+  const uint64_t want = StoreDigest(direct, num_entities);
+
+  // One-time artifact production (XML -> WCAL), included for honesty: the
+  // artifact pays for itself on the second cold start.
+  out.log_write_seconds = MeasureBest([&] {
+    std::ofstream file(wcal_path, std::ios::binary | std::ios::trunc);
+    ActionLogWriter writer(&file);
+    Require(writer.status().ok(), "action log writer open");
+    std::istringstream in(xml);
+    XmlPageSource source(&in);
+    Result<IngestStats> stats =
+        RunIngestPipeline(&source, *world.registry, &writer, {});
+    Require(stats.ok(), "ingest into action log");
+    Require(writer.Finish().ok(), "action log finish");
+  });
+  {
+    std::ifstream file(wcal_path, std::ios::binary | std::ios::ate);
+    out.wcal_bytes = static_cast<size_t>(file.tellg());
+  }
+
+  // Cold start from the artifact: mmap + block decode + bulk append.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    uint64_t digest = 0;
+    size_t blocks = 0;
+    double seconds = MeasureBest([&] {
+      RevisionStore store;
+      ReplayOptions options;
+      options.num_threads = threads;
+      Result<IngestStats> stats =
+          ReplayActionLogFile(wcal_path, &store, options);
+      Require(stats.ok(), "replay from action log");
+      Require(stats->actions == out.actions, "replayed action count");
+      digest = StoreDigest(store, num_entities);
+      blocks = stats->log_blocks;
+    });
+    Require(digest == want, "replayed store == direct XML ingest store");
+    if (threads == 1) {
+      out.replay_seconds = seconds;
+      out.blocks = blocks;
+    } else {
+      out.replay_seconds_4t = seconds;
+    }
+  }
+
+  // Selective ingestion: the first subject decile, seekable via the per-block
+  // subject span in the index without touching the other blocks' bytes.
+  {
+    Result<ActionLogReader> reader = ActionLogReader::OpenFile(wcal_path);
+    Require(reader.ok(), "reopen action log");
+    ReplayOptions options;
+    options.selective = true;
+    options.min_subject = 0;
+    options.max_subject = num_entities / 10;
+    RevisionStore partial;
+    size_t blocks = 0;
+    out.selective_seconds = MeasureBest([&] {
+      RevisionStore store;
+      RevisionStoreSink sink(&store);
+      Result<IngestStats> stats = ReplayActionLog(*reader, &sink, options);
+      Require(stats.ok(), "selective replay");
+      blocks = stats->log_blocks;
+      partial = std::move(store);
+    });
+    out.selective_blocks_decoded = blocks;
+    Require(blocks <= reader->num_blocks(), "selective block accounting");
+    // Block-granular filtering over-approximates, never under: every subject
+    // in range must come back with its complete log.
+    for (EntityId e = 0; e <= options.max_subject; ++e) {
+      Require(partial.LogOf(e) == direct.LogOf(e),
+              "selective replay preserves in-range logs");
+    }
+  }
+  return out;
+}
+
+double Speedup(double reference, double optimized) {
+  return optimized > 0 ? reference / optimized : 0;
+}
+
+void WriteJson(const std::vector<SizeResult>& results, const char* path) {
+  std::ofstream file(path);
+  JsonWriter w(&file, /*pretty=*/true);
+  w.BeginObject();
+  w.Key("bench");
+  w.String("actionlog_coldstart");
+  w.Key("reps");
+  w.Int(kReps);
+  w.Key("self_verified");
+  w.Bool(true);  // the process aborts before writing JSON otherwise
+  w.Key("sizes");
+  w.BeginArray();
+  for (const SizeResult& r : results) {
+    w.BeginObject();
+    w.Key("seeds");
+    w.Int(static_cast<int64_t>(r.seeds));
+    w.Key("actions");
+    w.Int(static_cast<int64_t>(r.actions));
+    w.Key("xml_bytes");
+    w.Int(static_cast<int64_t>(r.xml_bytes));
+    w.Key("wcal_bytes");
+    w.Int(static_cast<int64_t>(r.wcal_bytes));
+    w.Key("wcal_blocks");
+    w.Int(static_cast<int64_t>(r.blocks));
+    w.Key("size_ratio");
+    w.Number(r.wcal_bytes > 0
+                 ? static_cast<double>(r.xml_bytes) /
+                       static_cast<double>(r.wcal_bytes)
+                 : 0);
+    w.Key("xml_ingest_seconds");
+    w.Number(r.xml_ingest_seconds);
+    w.Key("log_write_seconds");
+    w.Number(r.log_write_seconds);
+    w.Key("replay_seconds");
+    w.Number(r.replay_seconds);
+    w.Key("replay_speedup");
+    w.Number(Speedup(r.xml_ingest_seconds, r.replay_seconds));
+    w.Key("replay_seconds_4t");
+    w.Number(r.replay_seconds_4t);
+    w.Key("selective_blocks_decoded");
+    w.Int(static_cast<int64_t>(r.selective_blocks_decoded));
+    w.Key("selective_seconds");
+    w.Number(r.selective_seconds);
+    w.Key("selective_speedup_vs_xml");
+    w.Number(Speedup(r.xml_ingest_seconds, r.selective_seconds));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  file << "\n";
+}
+
+int Main(int argc, char** argv) {
+  size_t scale = bench::SizeArg(argc, argv, 800);
+  std::vector<size_t> sizes = {scale / 4, scale / 2, scale};
+  if (argc > 1) sizes = {scale};
+  const char* out_path = argc > 2 ? argv[2] : "BENCH_actionlog.json";
+  const std::string wcal_path = std::string(out_path) + ".tmp.wcal";
+
+  std::printf(
+      "WCAL cold start: XML parse/diff vs action-log replay (best of %d)\n\n",
+      kReps);
+  std::vector<SizeResult> results;
+  for (size_t seeds : sizes) {
+    SizeResult r = RunSize(seeds, wcal_path);
+    std::printf(
+        "seeds=%zu actions=%zu | xml %zu B -> wcal %zu B (%.1fx smaller) | "
+        "ingest %.3fs vs replay %.3fs (%.1fx) | selective %zu/%zu blocks "
+        "%.4fs\n",
+        r.seeds, r.actions, r.xml_bytes, r.wcal_bytes,
+        Speedup(static_cast<double>(r.xml_bytes),
+                static_cast<double>(r.wcal_bytes)),
+        r.xml_ingest_seconds, r.replay_seconds,
+        Speedup(r.xml_ingest_seconds, r.replay_seconds),
+        r.selective_blocks_decoded, r.blocks, r.selective_seconds);
+    results.push_back(r);
+  }
+  std::remove(wcal_path.c_str());
+  WriteJson(results, out_path);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace wiclean
+
+int main(int argc, char** argv) { return wiclean::Main(argc, argv); }

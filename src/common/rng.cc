@@ -2,22 +2,17 @@
 
 #include <cmath>
 
+#include "common/hash.h"
+
 namespace wiclean {
 namespace {
-
-// splitmix64: expands a single seed into well-distributed initial state.
-uint64_t SplitMix64(uint64_t* x) {
-  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
+  // splitmix64 expands the single seed into well-distributed initial state.
   uint64_t s = seed;
   for (auto& w : state_) w = SplitMix64(&s);
 }

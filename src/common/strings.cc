@@ -97,17 +97,4 @@ std::string ReplaceAll(std::string_view text, std::string_view from,
   return out;
 }
 
-uint64_t Fnv1a64(std::string_view text) {
-  uint64_t h = 14695981039346656037ULL;
-  for (unsigned char c : text) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-uint64_t HashCombine(uint64_t a, uint64_t b) {
-  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
-}
-
 }  // namespace wiclean

@@ -33,13 +33,6 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 std::string ReplaceAll(std::string_view text, std::string_view from,
                        std::string_view to);
 
-/// 64-bit FNV-1a hash; stable across platforms and runs (used for canonical
-/// pattern keys and dedup sets, never for security).
-uint64_t Fnv1a64(std::string_view text);
-
-/// Combines two 64-bit hashes (boost::hash_combine style).
-uint64_t HashCombine(uint64_t a, uint64_t b);
-
 }  // namespace wiclean
 
 #endif  // WICLEAN_COMMON_STRINGS_H_

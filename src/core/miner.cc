@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
-#include "common/strings.h"
+#include "common/hash.h"
 #include "common/timer.h"
 #include "core/realization_join.h"
 #include "relational/ops.h"

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "common/strings.h"
+#include "common/hash.h"
 #include "core/action_index.h"
 #include "core/pattern.h"
 #include "graph/entity_registry.h"

@@ -4,7 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
-#include "common/strings.h"
+#include "common/hash.h"
 #include "relational/join_hash_table.h"
 
 namespace wiclean {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "dump/dump.h"
 #include "dump/page_source.h"
@@ -13,20 +14,15 @@
 
 namespace wiclean {
 
-/// Tiny deterministic generator (splitmix64) for reproducible fault plans.
-/// Not a crypto RNG and not std::rand — every run with the same seed injects
-/// the same faults in the same places, which is what makes the differential
-/// harness assertions exact.
+/// Tiny deterministic generator (splitmix64, common/hash.h) for reproducible
+/// fault plans. Not a crypto RNG and not std::rand — every run with the same
+/// seed injects the same faults in the same places, which is what makes the
+/// differential harness assertions exact.
 class FaultRng {
  public:
   explicit FaultRng(uint64_t seed) : state_(seed) {}
 
-  uint64_t Next() {
-    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
+  uint64_t Next() { return SplitMix64(&state_); }
 
   /// Uniform-enough draw in [0, n); n must be > 0.
   size_t Below(size_t n) { return static_cast<size_t>(Next() % n); }

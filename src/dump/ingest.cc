@@ -52,6 +52,24 @@ std::string IngestStats::ToString() const {
     if (!reasons.empty()) out += " [" + reasons + "]";
   }
   out += timing;
+  // Action-log sections: only present when a WCAL file was written or
+  // replayed, so plain XML-ingest output stays byte-identical.
+  if (log_write_seconds > 0.0) {
+    char log_timing[64];
+    std::snprintf(log_timing, sizeof(log_timing),
+                  " log_blocks=%zu log_write=%.3fs", log_blocks,
+                  log_write_seconds);
+    out += log_timing;
+  } else if (log_blocks != 0 || log_blocks_skipped != 0 ||
+             log_read_seconds > 0.0 || log_replay_seconds > 0.0) {
+    char log_timing[96];
+    std::snprintf(log_timing, sizeof(log_timing),
+                  " log_blocks=%zu log_blocks_skipped=%zu log_read=%.3fs"
+                  " log_replay=%.3fs",
+                  log_blocks, log_blocks_skipped, log_read_seconds,
+                  log_replay_seconds);
+    out += log_timing;
+  }
   return out;
 }
 

@@ -41,6 +41,19 @@ struct IngestStats {
   double parse_seconds = 0.0;
   double merge_seconds = 0.0;
 
+  /// WCAL action-log accounting (all zero unless an action log is involved).
+  /// On the write side (`wiclean ingest` / a teeing XML ingest),
+  /// log_write_seconds is the wall time spent encoding+writing blocks. On the
+  /// replay side (log/replay.h), log_read_seconds is wall time in block
+  /// decode, log_replay_seconds in the store-append merge, and
+  /// log_blocks/log_blocks_skipped count blocks decoded vs dropped by a
+  /// skip/quarantine policy.
+  double log_write_seconds = 0.0;
+  double log_read_seconds = 0.0;
+  double log_replay_seconds = 0.0;
+  size_t log_blocks = 0;
+  size_t log_blocks_skipped = 0;
+
   std::string ToString() const;
 };
 

@@ -27,6 +27,8 @@ std::string_view SkipReasonName(SkipReason reason) {
       return "out-of-order-revision";
     case SkipReason::kUnknownPage:
       return "unknown-page";
+    case SkipReason::kBlockCorruption:
+      return "block-corruption";
   }
   return "unknown-reason";
 }

@@ -27,8 +27,9 @@ enum class SkipReason {
   kDuplicateRevision,    // revision id already seen on this page
   kOutOfOrderRevision,   // revision timestamp rewinds the page timeline
   kUnknownPage,          // strict_pages set and title unregistered
+  kBlockCorruption,      // a WCAL action-log block failed its CRC or decode
 };
-inline constexpr size_t kNumSkipReasons = 10;
+inline constexpr size_t kNumSkipReasons = 11;
 
 /// Stable kebab-case name for a reason ("xml-corruption", ...); used by the
 /// stats breakdown, the quarantine index file, and tests.

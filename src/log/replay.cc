@@ -1,0 +1,232 @@
+#include "log/replay.h"
+
+#include <atomic>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace wiclean {
+namespace {
+
+/// True when block `meta` survives the selective-ingestion filter.
+bool Selected(const BlockMeta& meta, const ReplayOptions& options) {
+  if (!options.selective) return true;
+  return meta.max_subject >= options.min_subject &&
+         meta.min_subject <= options.max_subject;
+}
+
+/// Builds the skip batch for a block that failed CRC or decode under a skip
+/// policy. The batch travels the same ordered merge as real ones, so skip
+/// counters and quarantine records land in block order at any thread count.
+PageActions MakeBlockSkip(const ActionLogReader& reader, size_t block,
+                          const Status& error, bool quarantining) {
+  PageActions batch;
+  batch.sequence = block;
+  batch.skipped = true;
+  batch.skipped_by_reason[static_cast<size_t>(
+      SkipReason::kBlockCorruption)] = 1;
+  if (quarantining) {
+    QuarantineRecord record;
+    record.reason = SkipReason::kBlockCorruption;
+    record.sequence = block;
+    record.detail = std::string(error.message());
+    Result<std::string_view> raw = reader.BlockRawBytes(block);
+    if (raw.ok()) {
+      std::string_view bytes = raw.value();
+      if (bytes.size() > kMaxQuarantineRawBytes) {
+        bytes = bytes.substr(0, kMaxQuarantineRawBytes);
+        record.raw_truncated = true;
+      }
+      record.raw.assign(bytes.data(), bytes.size());
+    }
+    batch.quarantine.push_back(std::move(record));
+  }
+  return batch;
+}
+
+/// Folds one merged batch into the replay counters (the replay analogue of
+/// pipeline.cc's AccumulateStats).
+void AccumulateReplayStats(const PageActions& batch, IngestStats* stats) {
+  stats->quarantined += batch.quarantine.size();
+  for (size_t i = 0; i < kNumSkipReasons; ++i) {
+    stats->skipped_by_reason[i] += batch.skipped_by_reason[i];
+  }
+  if (batch.skipped) {
+    ++stats->log_blocks_skipped;
+    return;
+  }
+  ++stats->log_blocks;
+  stats->actions += batch.actions.size();
+}
+
+Result<IngestStats> ReplaySequential(const ActionLogReader& reader,
+                                     ActionSink* sink,
+                                     const ReplayOptions& options,
+                                     const std::vector<size_t>& selected) {
+  const bool degraded = options.on_error != ErrorPolicy::kStrict;
+  const bool quarantining = options.on_error == ErrorPolicy::kQuarantine;
+  IngestStats stats;
+  for (size_t block : selected) {
+    Timer read_timer;
+    PageActions batch;
+    batch.sequence = block;
+    batch.known_page = true;
+    Status decoded = reader.DecodeBlock(block, &batch.actions);
+    stats.log_read_seconds += read_timer.ElapsedSeconds();
+    if (!decoded.ok()) {
+      if (!degraded) return decoded;
+      batch = MakeBlockSkip(reader, block, decoded, quarantining);
+    }
+
+    Timer replay_timer;
+    AccumulateReplayStats(batch, &stats);
+    Status status = Status::OK();
+    for (const QuarantineRecord& record : batch.quarantine) {
+      status = options.quarantine->Write(record);
+      if (!status.ok()) break;  // losing the quarantine channel is fatal
+    }
+    if (status.ok() && !batch.skipped) {
+      status = sink->Append(std::move(batch));
+    }
+    stats.log_replay_seconds += replay_timer.ElapsedSeconds();
+    if (!status.ok()) return status;
+  }
+  return stats;
+}
+
+/// Shared state of a parallel replay: the reorder buffer keyed by position
+/// in `selected`, the merged counters, and the first error — the same shape
+/// as the ingestion pipeline's MergeState (dump/pipeline.cc), proven
+/// data-race-free by the -Werror=thread-safety build.
+struct ReplayMergeState {
+  Mutex mu;
+  std::map<size_t, PageActions> pending WC_GUARDED_BY(mu);
+  size_t next_position WC_GUARDED_BY(mu) = 0;
+  IngestStats stats WC_GUARDED_BY(mu);
+  Status first_error WC_GUARDED_BY(mu);
+  std::atomic<int64_t> read_micros{0};
+  int64_t replay_micros WC_GUARDED_BY(mu) = 0;
+};
+
+Result<IngestStats> ReplayParallel(const ActionLogReader& reader,
+                                   ActionSink* sink,
+                                   const ReplayOptions& options,
+                                   const std::vector<size_t>& selected) {
+  const bool degraded = options.on_error != ErrorPolicy::kStrict;
+  const bool quarantining = options.on_error == ErrorPolicy::kQuarantine;
+  ReplayMergeState state;
+  // Work dispensing needs no queue: blocks are already materialized in the
+  // mapped file, so workers pull the next position from a counter and the
+  // reorder buffer bounds skew on its own (a fast worker parks its batch
+  // and moves on).
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  ThreadPool pool(options.num_threads);
+  for (size_t w = 0; w < options.num_threads; ++w) {
+    pool.Submit([&] {
+      for (;;) {
+        if (failed.load(std::memory_order_acquire)) return;
+        const size_t position = next.fetch_add(1, std::memory_order_relaxed);
+        if (position >= selected.size()) return;
+        const size_t block = selected[position];
+
+        Timer read_timer;
+        PageActions batch;
+        batch.sequence = block;
+        batch.known_page = true;
+        Status decoded = reader.DecodeBlock(block, &batch.actions);
+        state.read_micros.fetch_add(
+            static_cast<int64_t>(read_timer.ElapsedSeconds() * 1e6),
+            std::memory_order_relaxed);
+        if (!decoded.ok()) {
+          if (!degraded) {
+            MutexLock lock(&state.mu);
+            if (state.first_error.ok()) state.first_error = decoded;
+            failed.store(true, std::memory_order_release);
+            return;
+          }
+          batch = MakeBlockSkip(reader, block, decoded, quarantining);
+        }
+
+        MutexLock lock(&state.mu);
+        state.pending.emplace(position, std::move(batch));
+        // Flush the contiguous run, in position order — identical to the
+        // sequential replay's visit order.
+        while (!state.pending.empty() && state.first_error.ok()) {
+          auto front = state.pending.begin();
+          if (front->first != state.next_position) break;
+          Timer replay_timer;
+          AccumulateReplayStats(front->second, &state.stats);
+          Status status = Status::OK();
+          for (const QuarantineRecord& record : front->second.quarantine) {
+            status = options.quarantine->Write(record);
+            if (!status.ok()) break;
+          }
+          if (status.ok() && !front->second.skipped) {
+            status = sink->Append(std::move(front->second));
+          }
+          state.replay_micros +=
+              static_cast<int64_t>(replay_timer.ElapsedSeconds() * 1e6);
+          state.pending.erase(front);
+          ++state.next_position;
+          if (!status.ok()) {
+            state.first_error = std::move(status);
+            failed.store(true, std::memory_order_release);
+          }
+        }
+        if (!state.first_error.ok()) return;
+      }
+    });
+  }
+  pool.Wait();
+
+  MutexLock lock(&state.mu);
+  if (!state.first_error.ok()) return state.first_error;
+  state.stats.log_read_seconds =
+      static_cast<double>(state.read_micros.load()) / 1e6;
+  state.stats.log_replay_seconds =
+      static_cast<double>(state.replay_micros) / 1e6;
+  return std::move(state.stats);
+}
+
+}  // namespace
+
+Result<IngestStats> ReplayActionLog(const ActionLogReader& reader,
+                                    ActionSink* sink,
+                                    const ReplayOptions& options) {
+  if (options.on_error == ErrorPolicy::kQuarantine &&
+      options.quarantine == nullptr) {
+    return Status::InvalidArgument(
+        "ErrorPolicy::kQuarantine requires a QuarantineSink");
+  }
+  if (options.selective && options.min_subject > options.max_subject) {
+    return Status::InvalidArgument(
+        "selective replay: min_subject > max_subject");
+  }
+  std::vector<size_t> selected;
+  selected.reserve(reader.num_blocks());
+  for (size_t i = 0; i < reader.num_blocks(); ++i) {
+    if (Selected(reader.block(i), options)) selected.push_back(i);
+  }
+  if (options.num_threads <= 1) {
+    return ReplaySequential(reader, sink, options, selected);
+  }
+  return ReplayParallel(reader, sink, options, selected);
+}
+
+Result<IngestStats> ReplayActionLogFile(const std::string& path,
+                                        RevisionStore* store,
+                                        const ReplayOptions& options) {
+  WICLEAN_ASSIGN_OR_RETURN(ActionLogReader reader,
+                           ActionLogReader::OpenFile(path));
+  RevisionStoreSink sink(store);
+  return ReplayActionLog(reader, &sink, options);
+}
+
+}  // namespace wiclean

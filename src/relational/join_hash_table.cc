@@ -1,7 +1,7 @@
 #include "relational/join_hash_table.h"
 
 #include "common/logging.h"
-#include "common/strings.h"
+#include "common/hash.h"
 
 namespace wiclean::relational {
 

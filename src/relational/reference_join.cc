@@ -2,7 +2,7 @@
 
 #include <unordered_map>
 
-#include "common/strings.h"
+#include "common/hash.h"
 
 namespace wiclean::relational {
 namespace {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/hash.h"
+
 namespace wiclean {
 
 void RevisionStore::Add(Action action) {
@@ -13,6 +15,43 @@ void RevisionStore::Add(Action action) {
       [](const Action& a, const Action& b) { return a.time < b.time; });
   log.insert(pos, std::move(action));
   ++num_actions_;
+}
+
+void RevisionStore::AddBatch(std::vector<Action> actions) {
+  // Equivalent to Add() per action: Add inserts at upper_bound by time, so an
+  // existing entry always precedes an equal-time newcomer, and two newcomers
+  // keep their batch order. Appending the suffix, stable_sort-ing it by time,
+  // then inplace_merge-ing (which is stable and keeps left-range elements
+  // first on ties) reproduces exactly that order in one merge per log.
+  std::vector<std::pair<EntityId, size_t>> touched;  // subject -> old log size
+  for (Action& action : actions) {
+    std::vector<Action>& log = logs_[action.subject];
+    if (touched.empty() || touched.back().first != action.subject) {
+      touched.emplace_back(action.subject, log.size());
+    }
+    log.push_back(std::move(action));
+  }
+  num_actions_ += actions.size();
+  // A subject may recur non-contiguously in `actions`; only the first record
+  // per subject holds the true pre-batch size, so dedup keeping the first.
+  std::stable_sort(
+      touched.begin(), touched.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  touched.erase(std::unique(touched.begin(), touched.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first == b.first;
+                            }),
+                touched.end());
+  const auto by_time = [](const Action& a, const Action& b) {
+    return a.time < b.time;
+  };
+  for (const auto& [subject, old_size] : touched) {
+    std::vector<Action>& log = logs_[subject];
+    auto mid = log.begin() + static_cast<ptrdiff_t>(old_size);
+    std::stable_sort(mid, log.end(), by_time);
+    if (mid != log.begin() && !by_time(*mid, *(mid - 1))) continue;  // in order
+    std::inplace_merge(log.begin(), mid, log.end(), by_time);
+  }
 }
 
 const std::vector<Action>& RevisionStore::LogOf(EntityId entity) const {
@@ -121,6 +160,26 @@ std::vector<Action> ReduceActions(const std::vector<Action>& actions) {
   out.reserve(survivors.size());
   for (auto& [idx, a] : survivors) out.push_back(std::move(a));
   return out;
+}
+
+uint64_t StoreDigest(const RevisionStore& store, EntityId num_entities) {
+  // Walk entities in id order (not unordered_map order) so the digest is a
+  // pure function of log contents.
+  uint64_t digest = Fnv1a64("wiclean-store-digest");
+  for (EntityId e = 0; e < num_entities; ++e) {
+    const std::vector<Action>& log = store.LogOf(e);
+    if (log.empty()) continue;
+    digest = HashCombine(digest, static_cast<uint64_t>(e));
+    digest = HashCombine(digest, log.size());
+    for (const Action& a : log) {
+      digest = HashCombine(digest, static_cast<uint64_t>(a.op));
+      digest = HashCombine(digest, static_cast<uint64_t>(a.subject));
+      digest = HashCombine(digest, Fnv1a64(a.relation));
+      digest = HashCombine(digest, static_cast<uint64_t>(a.object));
+      digest = HashCombine(digest, static_cast<uint64_t>(a.time));
+    }
+  }
+  return digest;
 }
 
 }  // namespace wiclean

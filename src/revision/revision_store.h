@@ -31,6 +31,14 @@ class RevisionStore {
   /// are allowed; logs are kept sorted by timestamp (stable for ties).
   void Add(Action action);
 
+  /// Bulk columnar append: records every action of `actions`, producing a
+  /// store identical to calling Add() once per action in order, but with one
+  /// stable merge per touched log instead of one binary-search insert per
+  /// action. This is the append path of the WCAL replay (log/replay.h) and
+  /// the pipeline's RevisionStoreSink, where actions arrive in large
+  /// page/block batches.
+  void AddBatch(std::vector<Action> actions);
+
   /// Total number of recorded actions across all logs.
   size_t num_actions() const { return num_actions_; }
 
@@ -68,6 +76,12 @@ class RevisionStore {
 /// initial edge presence is inferred from the first recorded op, and only a
 /// net presence change emits an action.
 std::vector<Action> ReduceActions(const std::vector<Action>& actions);
+
+/// Order-sensitive fingerprint of every log of entities [0, num_entities):
+/// two stores digest equal iff each entity's log holds the same actions in
+/// the same order. The differential backbone of the WCAL replay tests and
+/// bench/actionlog_coldstart ("replay-of-log == direct XML ingest").
+uint64_t StoreDigest(const RevisionStore& store, EntityId num_entities);
 
 }  // namespace wiclean
 

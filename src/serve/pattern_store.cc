@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/hash.h"
+
 namespace wiclean {
 
 namespace {
@@ -320,26 +322,6 @@ Status DecodePatterns(ByteReader* r, const TypeTaxonomy& taxonomy,
 }
 
 }  // namespace
-
-uint32_t Crc32(std::string_view bytes) {
-  // Standard IEEE reflected CRC-32, table computed on first use.
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xffffffffu;
-  for (char ch : bytes) {
-    crc = table[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
-}
 
 Status EncodeSnapshot(const PatternSnapshot& snapshot,
                       const TypeTaxonomy& taxonomy, std::string* out) {

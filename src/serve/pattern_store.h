@@ -88,10 +88,6 @@ inline constexpr uint32_t kSnapshotFormatVersion = 1;
 [[nodiscard]] Result<PatternSnapshot> LoadSnapshotFile(
     const std::string& path, const TypeTaxonomy& taxonomy);
 
-/// CRC-32 (IEEE, reflected) of `bytes` — exposed for tests that corrupt
-/// snapshots deliberately.
-uint32_t Crc32(std::string_view bytes);
-
 }  // namespace wiclean
 
 #endif  // WICLEAN_SERVE_PATTERN_STORE_H_

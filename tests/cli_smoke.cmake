@@ -52,6 +52,48 @@ if(NOT csv MATCHES "pattern,window_begin_day")
   message(FATAL_ERROR "CSV header missing")
 endif()
 
+# Action log: ingest once to a WCAL artifact, then mine from the log in
+# place of the dump. The two mine reports must agree exactly, modulo the
+# wall-time lines.
+execute_process(
+  COMMAND ${WICLEAN} ingest
+    --dump ${WORK_DIR}/dump.xml
+    --taxonomy ${WORK_DIR}/taxonomy.tsv
+    --alignment ${WORK_DIR}/alignment.tsv
+    --out ${WORK_DIR}/actions.wcal
+    --stats-json ${WORK_DIR}/ingest.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ingest failed: ${out}${err}")
+endif()
+if(NOT out MATCHES "action\\(s\\) in .* block\\(s\\)")
+  message(FATAL_ERROR "ingest summary missing: ${out}")
+endif()
+file(READ ${WORK_DIR}/ingest.json ingest_json)
+if(NOT ingest_json MATCHES "\"action_log\"")
+  message(FATAL_ERROR "ingest stats JSON malformed")
+endif()
+
+execute_process(
+  COMMAND ${WICLEAN} mine
+    --action-log ${WORK_DIR}/actions.wcal
+    --taxonomy ${WORK_DIR}/taxonomy.tsv
+    --alignment ${WORK_DIR}/alignment.tsv
+    --seed-type soccer_player --threshold 0.8
+    --json ${WORK_DIR}/report_wcal.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mine --action-log failed: ${out}${err}")
+endif()
+# Strip the timing lines, then demand byte equality with the XML-path report.
+foreach(name report report_wcal)
+  file(STRINGS ${WORK_DIR}/${name}.json ${name}_lines)
+  list(FILTER ${name}_lines EXCLUDE REGEX "seconds")
+endforeach()
+if(NOT report_lines STREQUAL report_wcal_lines)
+  message(FATAL_ERROR "mine --action-log report differs from --dump report")
+endif()
+
 # Error paths: bad inputs must fail with a clear message.
 execute_process(
   COMMAND ${WICLEAN} mine --dump /nonexistent --taxonomy /nonexistent

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/logging.h"
+#include "common/hash.h"
 #include "common/strings.h"
 #include "common/timer.h"
 #include "common/thread_pool.h"

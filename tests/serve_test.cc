@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "core/partial.h"
 #include "core/window_search.h"
 #include "report/report.h"

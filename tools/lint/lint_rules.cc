@@ -203,14 +203,16 @@ std::vector<LintFinding> LintFile(const std::string& path,
   }
 
   // --- per-line token rules ----------------------------------------------
-  // The snapshot reader is the one module allowed to touch raw wire bytes;
-  // everything else must go through its bounds-checked helpers.
+  // The two binary-wire codecs (the pattern snapshot and the WCAL action
+  // log) are the only modules allowed to touch raw wire bytes; everything
+  // else must go through their bounds-checked helpers.
   auto path_ends_with = [&](std::string_view suffix) {
     return path.size() >= suffix.size() &&
            std::string_view(path).substr(path.size() - suffix.size()) ==
                suffix;
   };
-  const bool memcpy_exempt = path_ends_with("serve/pattern_store.cc");
+  const bool memcpy_exempt = path_ends_with("serve/pattern_store.cc") ||
+                             path_ends_with("log/action_log_codec.cc");
 
   // Sliding window of recent stripped lines for the unchecked-value rule.
   constexpr size_t kValueCheckWindow = 6;  // current line + 5 above
@@ -242,9 +244,9 @@ std::vector<LintFinding> LintFile(const std::string& path,
           stripped.size() > pos + 6 && stripped[pos + 6] == '(' &&
           !Suppressed(raw, "raw-memcpy")) {
         report(line_number, "raw-memcpy",
-               "memcpy() is banned outside serve/pattern_store.cc: "
-               "deserialize through the bounds-checked reader helpers, not "
-               "byte blits into structs");
+               "memcpy() is banned outside serve/pattern_store.cc and "
+               "log/action_log_codec.cc: deserialize through the "
+               "bounds-checked reader helpers, not byte blits into structs");
       }
     }
 

@@ -1,0 +1,9 @@
+// Lint fixture: a byte blit that is legal only because the file is linted
+// under one of the two designated wire-codec paths (serve/pattern_store.cc,
+// log/action_log_codec.cc). Linted under any other path it must trip
+// raw-memcpy.
+#include <cstring>
+
+void CopyColumn(unsigned char* dst, const char* src, unsigned long n) {
+  std::memcpy(dst, src, n);
+}

@@ -9,6 +9,13 @@
 //     Generates a demo corpus: DIR/dump.xml, DIR/taxonomy.tsv,
 //     DIR/alignment.tsv.
 //
+//   wiclean ingest --dump F --taxonomy F --alignment F --out F.wcal
+//                  [--stats-json F] [--block-actions N] [--threads N]
+//     Runs the parse/diff pipeline once and serializes the recovered action
+//     stream into a WCAL binary action log (src/log/). Every other
+//     subcommand accepts --action-log F.wcal in place of --dump and replays
+//     the log into the store, skipping XML and wikitext entirely.
+//
 //   wiclean mine --dump F --taxonomy F --alignment F --seed-type NAME
 //                [--threshold X] [--json FILE] [--threads N]
 //     Runs the window-and-pattern search (Algorithm 2) and prints a summary;
@@ -47,13 +54,18 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/timer.h"
 
 #include "core/partial.h"
 #include "core/window_search.h"
 #include "dump/alignment.h"
 #include "dump/ingest.h"
+#include "dump/page_source.h"
+#include "dump/pipeline.h"
 #include "dump/quarantine.h"
+#include "log/action_log_writer.h"
+#include "log/replay.h"
 #include "report/report.h"
 #include "serve/detector_session.h"
 #include "serve/pattern_store.h"
@@ -128,17 +140,80 @@ struct LoadedCorpus {
   Timestamp end = 0;
 };
 
-Result<LoadedCorpus> LoadCorpus(const Args& args,
-                                bool require_seed_type = true) {
-  LoadedCorpus corpus;
+/// The ingest-side flags shared by every subcommand that builds a store:
+/// worker count, fault policy (plus its quarantine sink), resource guards.
+struct IngestArgs {
+  size_t num_threads = 1;
+  ErrorPolicy on_error = ErrorPolicy::kStrict;
+  std::unique_ptr<DirectoryQuarantineSink> quarantine;  // kQuarantine only
+  IngestLimits limits;
 
+  IngestOptions ToIngestOptions() const {
+    IngestOptions options;
+    options.num_threads = num_threads;
+    options.on_error = on_error;
+    options.quarantine = quarantine.get();
+    options.limits = limits;
+    return options;
+  }
+};
+
+Result<IngestArgs> ParseIngestArgs(const Args& args) {
+  IngestArgs parsed;
+  // --threads N fans the parse/diff (or block-decode) stage out across N
+  // pipeline workers; the resulting store is identical to a sequential
+  // ingest (ordered merge).
+  int64_t threads = args.GetInt("threads", 1);
+  if (threads < 1) {
+    return Status::InvalidArgument("--threads must be >= 1");
+  }
+  parsed.num_threads = static_cast<size_t>(threads);
+
+  // --on-error selects the fault policy; strict (the default) fails fast.
+  std::string on_error = args.Get("on-error", "strict");
+  if (on_error == "strict") {
+    parsed.on_error = ErrorPolicy::kStrict;
+  } else if (on_error == "skip") {
+    parsed.on_error = ErrorPolicy::kSkip;
+  } else if (on_error == "quarantine") {
+    parsed.on_error = ErrorPolicy::kQuarantine;
+    WICLEAN_ASSIGN_OR_RETURN(std::string quarantine_dir,
+                             args.Require("quarantine-dir"));
+    parsed.quarantine =
+        std::make_unique<DirectoryQuarantineSink>(quarantine_dir);
+    WICLEAN_RETURN_IF_ERROR(parsed.quarantine->status());
+  } else {
+    return Status::InvalidArgument(
+        "--on-error must be strict, skip, or quarantine (got '" + on_error +
+        "')");
+  }
+  parsed.limits.max_revision_bytes =
+      static_cast<size_t>(args.GetInt("max-revision-bytes", 0));
+  parsed.limits.max_revisions_per_page =
+      static_cast<size_t>(args.GetInt("max-revisions-per-page", 0));
+  parsed.limits.max_actions_per_page =
+      static_cast<size_t>(args.GetInt("max-actions-per-page", 0));
+  parsed.limits.max_infobox_nesting_depth =
+      static_cast<int>(args.GetInt("max-infobox-depth", 0));
+  return parsed;
+}
+
+/// Loads --taxonomy and --alignment into a fresh taxonomy + registry pair
+/// (shared by every corpus-consuming subcommand and `wiclean ingest`).
+struct LoadedAlignment {
+  std::unique_ptr<TypeTaxonomy> taxonomy;
+  std::unique_ptr<EntityRegistry> registry;
+};
+
+Result<LoadedAlignment> LoadAlignmentFiles(const Args& args) {
+  LoadedAlignment loaded;
   WICLEAN_ASSIGN_OR_RETURN(std::string taxonomy_path,
                            args.Require("taxonomy"));
   std::ifstream taxonomy_file(taxonomy_path);
   if (!taxonomy_file) {
     return Status::NotFound("cannot open taxonomy file " + taxonomy_path);
   }
-  WICLEAN_ASSIGN_OR_RETURN(corpus.taxonomy, LoadTaxonomy(&taxonomy_file));
+  WICLEAN_ASSIGN_OR_RETURN(loaded.taxonomy, LoadTaxonomy(&taxonomy_file));
 
   WICLEAN_ASSIGN_OR_RETURN(std::string alignment_path,
                            args.Require("alignment"));
@@ -147,57 +222,51 @@ Result<LoadedCorpus> LoadCorpus(const Args& args,
     return Status::NotFound("cannot open alignment file " + alignment_path);
   }
   WICLEAN_ASSIGN_OR_RETURN(
-      corpus.registry, LoadAlignment(&alignment_file, corpus.taxonomy.get()));
+      loaded.registry, LoadAlignment(&alignment_file, loaded.taxonomy.get()));
+  return loaded;
+}
 
-  WICLEAN_ASSIGN_OR_RETURN(std::string dump_path, args.Require("dump"));
-  std::ifstream dump_file(dump_path);
-  if (!dump_file) {
-    return Status::NotFound("cannot open dump file " + dump_path);
-  }
-  // --threads N fans the parse/diff stage out across N pipeline workers;
-  // the resulting store is identical to a sequential ingest (ordered merge).
-  IngestOptions ingest_options;
-  int64_t threads = args.GetInt("threads", 1);
-  if (threads < 1) {
-    return Status::InvalidArgument("--threads must be >= 1");
-  }
-  ingest_options.num_threads = static_cast<size_t>(threads);
+Result<LoadedCorpus> LoadCorpus(const Args& args,
+                                bool require_seed_type = true) {
+  LoadedCorpus corpus;
 
-  // --on-error selects the fault policy; strict (the default) fails fast.
-  std::string on_error = args.Get("on-error", "strict");
-  std::unique_ptr<DirectoryQuarantineSink> quarantine_sink;
-  if (on_error == "strict") {
-    ingest_options.on_error = ErrorPolicy::kStrict;
-  } else if (on_error == "skip") {
-    ingest_options.on_error = ErrorPolicy::kSkip;
-  } else if (on_error == "quarantine") {
-    ingest_options.on_error = ErrorPolicy::kQuarantine;
-    WICLEAN_ASSIGN_OR_RETURN(std::string quarantine_dir,
-                             args.Require("quarantine-dir"));
-    quarantine_sink = std::make_unique<DirectoryQuarantineSink>(quarantine_dir);
-    WICLEAN_RETURN_IF_ERROR(quarantine_sink->status());
-    ingest_options.quarantine = quarantine_sink.get();
+  WICLEAN_ASSIGN_OR_RETURN(LoadedAlignment aligned, LoadAlignmentFiles(args));
+  corpus.taxonomy = std::move(aligned.taxonomy);
+  corpus.registry = std::move(aligned.registry);
+
+  WICLEAN_ASSIGN_OR_RETURN(IngestArgs ingest_args, ParseIngestArgs(args));
+
+  // --action-log replaces --dump: the store is rebuilt by replaying a WCAL
+  // file written by `wiclean ingest`, skipping XML parse and diff entirely.
+  // Both paths produce byte-identical stores for the same source dump.
+  std::string action_log_path = args.Get("action-log", "");
+  IngestStats stats;
+  if (!action_log_path.empty()) {
+    ReplayOptions replay_options;
+    replay_options.num_threads = ingest_args.num_threads;
+    replay_options.on_error = ingest_args.on_error;
+    replay_options.quarantine = ingest_args.quarantine.get();
+    WICLEAN_ASSIGN_OR_RETURN(
+        stats,
+        ReplayActionLogFile(action_log_path, &corpus.store, replay_options));
+    std::fprintf(stderr, "replayed %s (%zu thread%s): %s\n",
+                 action_log_path.c_str(), ingest_args.num_threads,
+                 ingest_args.num_threads == 1 ? "" : "s",
+                 stats.ToString().c_str());
   } else {
-    return Status::InvalidArgument(
-        "--on-error must be strict, skip, or quarantine (got '" + on_error +
-        "')");
+    WICLEAN_ASSIGN_OR_RETURN(std::string dump_path, args.Require("dump"));
+    std::ifstream dump_file(dump_path);
+    if (!dump_file) {
+      return Status::NotFound("cannot open dump file " + dump_path);
+    }
+    WICLEAN_ASSIGN_OR_RETURN(
+        stats, IngestDump(&dump_file, *corpus.registry, &corpus.store,
+                          ingest_args.ToIngestOptions()));
+    std::fprintf(stderr, "ingested (%zu thread%s): %s\n",
+                 ingest_args.num_threads,
+                 ingest_args.num_threads == 1 ? "" : "s",
+                 stats.ToString().c_str());
   }
-  ingest_options.limits.max_revision_bytes =
-      static_cast<size_t>(args.GetInt("max-revision-bytes", 0));
-  ingest_options.limits.max_revisions_per_page =
-      static_cast<size_t>(args.GetInt("max-revisions-per-page", 0));
-  ingest_options.limits.max_actions_per_page =
-      static_cast<size_t>(args.GetInt("max-actions-per-page", 0));
-  ingest_options.limits.max_infobox_nesting_depth =
-      static_cast<int>(args.GetInt("max-infobox-depth", 0));
-
-  WICLEAN_ASSIGN_OR_RETURN(
-      IngestStats stats,
-      IngestDump(&dump_file, *corpus.registry, &corpus.store, ingest_options));
-  std::fprintf(stderr, "ingested (%zu thread%s): %s\n",
-               ingest_options.num_threads,
-               ingest_options.num_threads == 1 ? "" : "s",
-               stats.ToString().c_str());
 
   if (require_seed_type) {
     WICLEAN_ASSIGN_OR_RETURN(std::string seed_name,
@@ -493,6 +562,100 @@ int RunSynth(const Args& args) {
   return 0;
 }
 
+/// `wiclean ingest`: runs the XML parse/diff pipeline once with an
+/// ActionLogWriter as the sole sink, producing a WCAL action log that
+/// mine/detect/pack/serve can replay via --action-log without re-parsing.
+int RunIngest(const Args& args) {
+  Result<LoadedAlignment> aligned = LoadAlignmentFiles(args);
+  if (!aligned.ok()) return Fail(aligned.status());
+  Result<IngestArgs> ingest_args = ParseIngestArgs(args);
+  if (!ingest_args.ok()) return Fail(ingest_args.status());
+
+  Result<std::string> dump_path = args.Require("dump");
+  if (!dump_path.ok()) return Fail(dump_path.status());
+  std::ifstream dump_file(*dump_path);
+  if (!dump_file) {
+    return Fail(Status::NotFound("cannot open dump file " + *dump_path));
+  }
+  Result<std::string> out_path = args.Require("out");
+  if (!out_path.ok()) return Fail(out_path.status());
+  std::ofstream out_file(*out_path,
+                         std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!out_file) {
+    return Fail(Status::Internal("cannot write " + *out_path));
+  }
+
+  ActionLogWriterOptions writer_options;
+  writer_options.target_block_actions =
+      static_cast<size_t>(args.GetInt("block-actions", 4096));
+  ActionLogWriter writer(&out_file, writer_options);
+  if (!writer.status().ok()) return Fail(writer.status());
+
+  XmlPageSource source(&dump_file);
+  Result<IngestStats> run =
+      RunIngestPipeline(&source, *aligned->registry, &writer,
+                        ingest_args->ToIngestOptions());
+  if (!run.ok()) return Fail(run.status());
+  Status finished = writer.Finish();
+  if (!finished.ok()) return Fail(finished);
+
+  IngestStats stats = std::move(run).value();
+  stats.log_write_seconds = writer.write_seconds();
+  stats.log_blocks = writer.blocks_written();
+  std::fprintf(stderr, "ingested (%zu thread%s): %s\n",
+               ingest_args->num_threads,
+               ingest_args->num_threads == 1 ? "" : "s",
+               stats.ToString().c_str());
+  std::printf("wrote %llu action(s) in %llu block(s) to %s\n",
+              static_cast<unsigned long long>(writer.actions_written()),
+              static_cast<unsigned long long>(writer.blocks_written()),
+              out_path->c_str());
+
+  std::string stats_json = args.Get("stats-json", "");
+  if (!stats_json.empty()) {
+    std::ofstream f(stats_json);
+    if (!f) return Fail(Status::Internal("cannot write " + stats_json));
+    JsonWriter w(&f, /*pretty=*/true);
+    w.BeginObject();
+    w.Key("action_log");
+    w.String(*out_path);
+    w.Key("threads");
+    w.Int(static_cast<int64_t>(ingest_args->num_threads));
+    w.Key("pages");
+    w.Int(static_cast<int64_t>(stats.pages));
+    w.Key("revisions");
+    w.Int(static_cast<int64_t>(stats.revisions));
+    w.Key("actions");
+    w.Int(static_cast<int64_t>(stats.actions));
+    w.Key("unknown_pages");
+    w.Int(static_cast<int64_t>(stats.unknown_pages));
+    w.Key("unresolved_links");
+    w.Int(static_cast<int64_t>(stats.unresolved_links));
+    w.Key("pages_skipped");
+    w.Int(static_cast<int64_t>(stats.pages_skipped));
+    w.Key("revisions_skipped");
+    w.Int(static_cast<int64_t>(stats.revisions_skipped));
+    w.Key("regions_skipped");
+    w.Int(static_cast<int64_t>(stats.regions_skipped));
+    w.Key("quarantined");
+    w.Int(static_cast<int64_t>(stats.quarantined));
+    w.Key("log_blocks");
+    w.Int(static_cast<int64_t>(stats.log_blocks));
+    w.Key("read_seconds");
+    w.Number(stats.read_seconds);
+    w.Key("parse_seconds");
+    w.Number(stats.parse_seconds);
+    w.Key("merge_seconds");
+    w.Number(stats.merge_seconds);
+    w.Key("log_write_seconds");
+    w.Number(stats.log_write_seconds);
+    w.EndObject();
+    if (!f.good()) return Fail(Status::Internal("write failed: " + stats_json));
+    std::printf("stats JSON written to %s\n", stats_json.c_str());
+  }
+  return 0;
+}
+
 int RunMine(const Args& args) {
   Result<LoadedCorpus> corpus = LoadCorpus(args);
   if (!corpus.ok()) return Fail(corpus.status());
@@ -579,10 +742,18 @@ int RunDetect(const Args& args) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: wiclean <synth|mine|detect|pack|serve> "
+               "usage: wiclean <synth|ingest|mine|detect|pack|serve> "
                "[--flag value ...]\n"
                "  synth  --out-dir DIR [--seeds N] [--years N] "
                "[--domains soccer,cinema,politics,software] [--rng-seed S]\n"
+               "  ingest --dump F --taxonomy F --alignment F --out F.wcal\n"
+               "         [--stats-json F] [--block-actions N] [--threads N] "
+               "[ingest flags]\n"
+               "         parse/diff the dump once into a WCAL binary action "
+               "log; later runs\n"
+               "         pass --action-log F.wcal instead of --dump to "
+               "replay it (no XML,\n"
+               "         no wikitext, identical store at any --threads)\n"
                "  mine   --dump F --taxonomy F --alignment F --seed-type T "
                "[--threshold X] [--json F] [--threads N] [ingest flags]\n"
                "  detect --dump F --taxonomy F --alignment F --seed-type T "
@@ -605,6 +776,8 @@ int Usage() {
                "--threads parallelizes dump parse/diff ingestion; output is\n"
                "identical to --threads 1. The ingested: line on stderr "
                "reports per-stage (read/parse/merge) times.\n"
+               "mine/detect/pack/serve accept --action-log F.wcal in place "
+               "of --dump.\n"
                "ingest flags (fault tolerance):\n"
                "  --on-error strict|skip|quarantine   fault policy "
                "(default strict: fail fast)\n"
@@ -623,6 +796,7 @@ int Main(int argc, char** argv) {
   if (!args.ok()) return Fail(args.status());
   std::string_view command = argv[1];
   if (command == "synth") return RunSynth(*args);
+  if (command == "ingest") return RunIngest(*args);
   if (command == "mine") return RunMine(*args);
   if (command == "detect") return RunDetect(*args);
   if (command == "pack") return RunPack(*args);
