@@ -87,4 +87,27 @@
 #define WC_NO_THREAD_SAFETY_ANALYSIS \
   WC_THREAD_ANNOTATION_(no_thread_safety_analysis)
 
+/// wican dataflow annotations (tools/analyze). Unlike the thread-safety
+/// macros above these are read token-level by the wican analyzer, not by the
+/// compiler, so they expand to nothing (or to their argument) on every
+/// toolchain. The contract:
+///
+///   - WC_UNTRUSTED on a function: its return value / out-params are decoded
+///     from raw artifact bytes and may be attacker-controlled. On a
+///     parameter or data member: the value itself is untrusted. Untrusted
+///     values must pass a bounds gate (an `if` comparison, std::min, or
+///     WC_BOUNDS_CHECKED) before reaching an allocation size, resize/reserve
+///     argument, loop bound, array index, or memcpy length
+///     (rule: tainted-size).
+///   - WC_BOUNDS_CHECKED(x) wraps a value whose bound was established
+///     somewhere the analyzer cannot see (e.g. validated by a preceding
+///     call). Expands to (x); use sparingly and prefer a visible comparison.
+///   - WC_BORROWED_VIEW on a function: the string_view/Span it returns (or
+///     writes through out-params) aliases memory owned by its receiver or
+///     first argument, and must not outlive it (rule: view-escape).
+
+#define WC_UNTRUSTED       // wican taint source marker; expands to nothing
+#define WC_BOUNDS_CHECKED(x) (x)
+#define WC_BORROWED_VIEW   // wican lifetime marker; expands to nothing
+
 #endif  // WICLEAN_COMMON_ANNOTATIONS_H_

@@ -60,6 +60,9 @@ class ThreadPool {
   /// holding mu_, which -Werror=thread-safety must reject. Never defined in
   /// real builds — only the negcompile test defines the macro.
   size_t UnsynchronizedQueueSizeForNegativeCompileTest() const {
+    // This method is intentionally unlocked: it exists only so the
+    // negcompile test can prove the compiler rejects the unguarded read.
+    // wican:allow(unguarded-access): negative-compilation fixture by design
     return queue_.size();
   }
 #endif

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "revision/action.h"
 
@@ -70,7 +71,7 @@ std::string PageToXml(const DumpPage& page);
 /// What a Resync() call skipped over: the raw bytes between the point of the
 /// parse error and the next page boundary, for quarantine/triage.
 struct ResyncInfo {
-  std::string raw;           // skipped bytes, capped by the caller's limit
+  std::string raw WC_UNTRUSTED;  // skipped bytes, capped by the caller's limit
   bool raw_truncated = false;  // raw hit the cap; skipped_bytes is still exact
   size_t skipped_bytes = 0;  // total bytes consumed by the resync
   uint64_t byte_offset = 0;  // absolute offset where the skipped region began
@@ -114,7 +115,8 @@ class DumpPageStream {
   /// false when the damage ran to end of input (the stream is finished).
   /// FailedPrecondition if no parse error is pending.
   [[nodiscard]] Result<bool> Resync(ResyncInfo* info,
-                                    size_t max_raw_bytes = 1 << 20);
+                                    size_t max_raw_bytes = 1 << 20)
+      WC_UNTRUSTED;
 
  private:
   struct Impl;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/annotations.h"
 #include "common/hash.h"
 
 namespace wiclean {
@@ -61,7 +62,7 @@ class ByteReader {
   size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
-  [[nodiscard]] Status ReadU32(uint32_t* v) {
+  [[nodiscard]] Status ReadU32(uint32_t* v) WC_UNTRUSTED {
     if (remaining() < 4) return Truncated("u32");
     uint32_t out = 0;
     for (int i = 0; i < 4; ++i) {
@@ -73,7 +74,7 @@ class ByteReader {
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadU64(uint64_t* v) {
+  [[nodiscard]] Status ReadU64(uint64_t* v) WC_UNTRUSTED {
     if (remaining() < 8) return Truncated("u64");
     uint64_t out = 0;
     for (int i = 0; i < 8; ++i) {
@@ -85,14 +86,14 @@ class ByteReader {
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadI64(int64_t* v) {
+  [[nodiscard]] Status ReadI64(int64_t* v) WC_UNTRUSTED {
     uint64_t raw = 0;
     WICLEAN_RETURN_IF_ERROR(ReadU64(&raw));
     *v = static_cast<int64_t>(raw);
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadVarint(uint64_t* v) {
+  [[nodiscard]] Status ReadVarint(uint64_t* v) WC_UNTRUSTED {
     uint64_t out = 0;
     for (int shift = 0; shift < 64; shift += 7) {
       if (AtEnd()) return Truncated("varint");
@@ -111,7 +112,8 @@ class ByteReader {
     return Status::DataLoss("action log: varint longer than 10 bytes");
   }
 
-  [[nodiscard]] Status ReadSpan(size_t size, std::string_view* v) {
+  [[nodiscard]] Status ReadSpan(size_t size, std::string_view* v)
+      WC_UNTRUSTED WC_BORROWED_VIEW {
     if (size > remaining()) return Truncated("byte span");
     *v = bytes_.substr(pos_, size);
     pos_ += size;
@@ -120,7 +122,7 @@ class ByteReader {
 
   /// Varint-length-prefixed string; the length is untrusted and checked
   /// against the bytes present before any allocation.
-  [[nodiscard]] Status ReadLenString(std::string* v) {
+  [[nodiscard]] Status ReadLenString(std::string* v) WC_UNTRUSTED {
     uint64_t size = 0;
     WICLEAN_RETURN_IF_ERROR(ReadVarint(&size));
     if (size > remaining()) return Truncated("string payload");

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "log/action_log_format.h"
 #include "revision/action.h"
@@ -31,7 +32,8 @@ void AppendActionLogSection(std::string* out, uint32_t tag,
                                           uint64_t offset,
                                           uint32_t expected_tag,
                                           std::string_view* payload,
-                                          uint64_t* end);
+                                          uint64_t* end)
+    WC_UNTRUSTED WC_BORROWED_VIEW;
 
 /// Encodes one block payload for `actions` (must be non-empty), interning
 /// relations not yet in `ids` by appending them to *dictionary and
@@ -50,14 +52,14 @@ BlockMeta EncodeBlockPayload(const std::vector<Action>& actions,
 [[nodiscard]] Status DecodeBlockPayload(std::string_view payload,
                                         const std::vector<std::string>& relations,
                                         const BlockMeta* meta,
-                                        std::vector<Action>* out);
+                                        std::vector<Action>* out) WC_UNTRUSTED;
 
 /// Encodes the index payload (block table + totals + full dictionary).
 void EncodeIndexPayload(const ActionLogIndex& index, std::string* out);
 
 /// Decodes a (CRC-verified) index payload.
 [[nodiscard]] Status DecodeIndexPayload(std::string_view payload,
-                                        ActionLogIndex* index);
+                                        ActionLogIndex* index) WC_UNTRUSTED;
 
 }  // namespace wiclean
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "log/action_log_format.h"
 
@@ -27,7 +28,7 @@ class MmapFile {
   /// span without a kernel mapping.
   static Result<MmapFile> Open(const std::string& path);
 
-  std::string_view bytes() const {
+  std::string_view bytes() const WC_UNTRUSTED WC_BORROWED_VIEW {
     return std::string_view(static_cast<const char*>(data_), size_);
   }
 
@@ -65,11 +66,13 @@ class ActionLogReader {
 
   /// Decodes block `i` (CRC-verified, cross-checked against its index
   /// entry), appending its actions to *out in log order.
-  [[nodiscard]] Status DecodeBlock(size_t i, std::vector<Action>* out) const;
+  [[nodiscard]] Status DecodeBlock(size_t i, std::vector<Action>* out) const
+      WC_UNTRUSTED;
 
   /// The raw framed bytes of block `i` (section header + payload), for the
   /// quarantine channel. Fails when the index entry runs past the file.
-  [[nodiscard]] Result<std::string_view> BlockRawBytes(size_t i) const;
+  [[nodiscard]] Result<std::string_view> BlockRawBytes(size_t i) const
+      WC_UNTRUSTED WC_BORROWED_VIEW;
 
  private:
   ActionLogReader() = default;
@@ -77,7 +80,7 @@ class ActionLogReader {
   [[nodiscard]] Status Validate();
 
   MmapFile file_;  // empty for FromBytes readers
-  std::string_view bytes_;
+  std::string_view bytes_ WC_UNTRUSTED;
   ActionLogIndex index_;
 };
 

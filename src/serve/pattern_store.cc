@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/annotations.h"
 #include "common/hash.h"
 
 namespace wiclean {
@@ -56,13 +57,13 @@ class ByteReader {
   size_t position() const { return pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
-  [[nodiscard]] Status ReadU8(uint8_t* v) {
+  [[nodiscard]] Status ReadU8(uint8_t* v) WC_UNTRUSTED {
     if (remaining() < 1) return Truncated("u8");
     *v = static_cast<uint8_t>(bytes_[pos_++]);
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadU32(uint32_t* v) {
+  [[nodiscard]] Status ReadU32(uint32_t* v) WC_UNTRUSTED {
     if (remaining() < 4) return Truncated("u32");
     uint32_t out = 0;
     for (int i = 0; i < 4; ++i) {
@@ -74,7 +75,7 @@ class ByteReader {
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadU64(uint64_t* v) {
+  [[nodiscard]] Status ReadU64(uint64_t* v) WC_UNTRUSTED {
     if (remaining() < 8) return Truncated("u64");
     uint64_t out = 0;
     for (int i = 0; i < 8; ++i) {
@@ -86,21 +87,21 @@ class ByteReader {
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadI64(int64_t* v) {
+  [[nodiscard]] Status ReadI64(int64_t* v) WC_UNTRUSTED {
     uint64_t raw = 0;
     WICLEAN_RETURN_IF_ERROR(ReadU64(&raw));
     *v = static_cast<int64_t>(raw);
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadF64(double* v) {
+  [[nodiscard]] Status ReadF64(double* v) WC_UNTRUSTED {
     uint64_t raw = 0;
     WICLEAN_RETURN_IF_ERROR(ReadU64(&raw));
     *v = std::bit_cast<double>(raw);
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadString(std::string* v) {
+  [[nodiscard]] Status ReadString(std::string* v) WC_UNTRUSTED {
     uint64_t size = 0;
     WICLEAN_RETURN_IF_ERROR(ReadU64(&size));
     // The length is untrusted: check against what is actually present before
@@ -111,7 +112,8 @@ class ByteReader {
     return Status::OK();
   }
 
-  [[nodiscard]] Status ReadSpan(size_t size, std::string_view* v) {
+  [[nodiscard]] Status ReadSpan(size_t size, std::string_view* v)
+      WC_UNTRUSTED WC_BORROWED_VIEW {
     if (size > remaining()) return Truncated("section payload");
     *v = bytes_.substr(pos_, size);
     pos_ += size;

@@ -1,0 +1,829 @@
+#include "index.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wiclean {
+namespace analyze {
+namespace {
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+
+/// WC_* names are annotation macros (src/common/annotations.h), never
+/// functions or declarator names.
+bool IsAnnotationMacro(const std::string& s) { return StartsWith(s, "WC_"); }
+
+/// Identifiers that can precede a '(' without being a function name.
+bool IsNonFunctionName(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "if",          "for",         "while",       "switch",
+      "return",      "sizeof",      "alignof",     "alignas",
+      "decltype",    "noexcept",    "catch",       "new",
+      "delete",      "throw",       "static_cast", "dynamic_cast",
+      "reinterpret_cast", "const_cast", "int",     "char",
+      "void",        "bool",        "float",       "double",
+      "long",        "short",       "unsigned",    "signed",
+      "auto",        "defined",     "static_assert", "assert",
+      "requires",    "co_return",   "co_await",
+  };
+  return kSet.count(s) != 0;
+}
+
+/// Declaration-specifier words excluded from type-head resolution.
+bool IsSpecifierWord(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "const",    "volatile", "mutable", "static",  "constexpr", "inline",
+      "virtual",  "explicit", "friend",  "extern",  "struct",    "class",
+      "enum",     "typename", "union",   "register", "thread_local",
+  };
+  return kSet.count(s) != 0;
+}
+
+/// t[i] must be `open`; returns the index just past the matching `close`
+/// (or t.size() when unbalanced).
+size_t SkipBalanced(const std::vector<Token>& t, size_t i,
+                    std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (size_t n = t.size(); i < n; ++i) {
+    if (t[i].text == open) {
+      ++depth;
+    } else if (t[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return t.size();
+}
+
+/// Template-argument angle matcher going backward: k points at a '>' (or
+/// '>>'); returns the index of the matching '<', or npos.
+size_t MatchAngleBackward(const std::vector<Token>& t, size_t k) {
+  int depth = 0;
+  for (size_t i = k + 1; i-- > 0;) {
+    const std::string& x = t[i].text;
+    if (x == ">")
+      ++depth;
+    else if (x == ">>")
+      depth += 2;
+    else if (x == "<") {
+      if (--depth == 0) return i;
+    } else if (x == "<<") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    }
+    if (i == 0) break;
+  }
+  return std::string::npos;
+}
+
+/// Skips a `template <...>` header; i points at "template".
+size_t SkipTemplateHeader(const std::vector<Token>& t, size_t i) {
+  ++i;
+  if (i >= t.size() || t[i].text != "<") return i;
+  int depth = 0;
+  for (size_t n = t.size(); i < n; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (x == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (x == "(") {
+      i = SkipBalanced(t, i, "(", ")") - 1;
+    }
+  }
+  return t.size();
+}
+
+/// Skips to the ';' ending this statement, balancing (), {}, [].
+size_t SkipToSemi(const std::vector<Token>& t, size_t i) {
+  int paren = 0, brace = 0, brack = 0;
+  for (size_t n = t.size(); i < n; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(")
+      ++paren;
+    else if (x == ")")
+      --paren;
+    else if (x == "{")
+      ++brace;
+    else if (x == "}")
+      --brace;
+    else if (x == "[")
+      ++brack;
+    else if (x == "]")
+      --brack;
+    else if (x == ";" && paren <= 0 && brace <= 0 && brack <= 0)
+      return i + 1;
+  }
+  return t.size();
+}
+
+struct Scope {
+  enum Kind { kNamespace, kClass, kBlock };
+  Kind kind;
+  std::string name;
+};
+
+std::string InnermostClass(const std::vector<Scope>& scopes) {
+  for (size_t i = scopes.size(); i-- > 0;) {
+    if (scopes[i].kind == Scope::kBlock) continue;
+    if (scopes[i].kind == Scope::kClass) return scopes[i].name;
+    return "";  // hit a namespace first
+  }
+  return "";
+}
+
+std::string JoinScopeNames(const std::vector<Scope>& scopes) {
+  std::string out;
+  for (const Scope& s : scopes) {
+    if (s.kind == Scope::kBlock || s.name.empty()) continue;
+    if (!out.empty()) out += "::";
+    out += s.name;
+  }
+  return out;
+}
+
+/// Joins WC_REQUIRES-style macro arguments on top-level commas.
+std::vector<std::string> SplitMacroArgs(const std::vector<Token>& t,
+                                        size_t open, size_t close) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (x == "," && depth == 0) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += x;
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+void ParseSuppressions(FileIndex* out) {
+  constexpr std::string_view kTag = "wican:allow(";
+  for (const Comment& c : out->comments) {
+    size_t pos = 0;
+    while ((pos = c.text.find(kTag, pos)) != std::string::npos) {
+      size_t rb = pos + kTag.size();
+      size_t re = c.text.find(')', rb);
+      if (re == std::string::npos) break;
+      Suppression s;
+      s.line = c.line;
+      s.rule = Trim(c.text.substr(rb, re - rb));
+      // Prose that mentions the syntax (e.g. "wican:allow(<rule>)" in a doc
+      // comment) is not a suppression: real rule names are kebab-case.
+      bool rule_shaped = !s.rule.empty();
+      for (char ch : s.rule) {
+        if (!((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+              ch == '-'))
+          rule_shaped = false;
+      }
+      if (!rule_shaped) {
+        pos = re;
+        continue;
+      }
+      size_t just = re + 1;
+      if (just < c.text.size() && c.text[just] == ':') ++just;
+      s.justification = Trim(c.text.substr(just));
+      out->suppressions.push_back(std::move(s));
+      pos = re;
+    }
+  }
+}
+
+/// Parses one parameter declaration (token slice) into ParamInfo.
+ParamInfo ParseParam(const std::vector<Token>& t, size_t begin, size_t end) {
+  ParamInfo p;
+  // Default argument: cut at the first top-level '='.
+  int depth = 0, angle = 0;
+  size_t cut = end;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& x = t[i].text;
+    if (IsAnnotationMacro(x)) p.untrusted = p.untrusted || x == "WC_UNTRUSTED";
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (depth == 0) {
+      if (x == "<" && i > begin && IsIdent(t[i - 1]))
+        ++angle;
+      else if (x == ">" && angle > 0)
+        --angle;
+      else if (x == ">>" && angle > 0)
+        angle = angle >= 2 ? angle - 2 : 0;
+      else if (x == "=" && angle == 0) {
+        cut = i;
+        break;
+      }
+    }
+  }
+  // Collect top-level identifiers (annotation macros excluded).
+  std::vector<std::string> ids;
+  depth = 0;
+  angle = 0;
+  for (size_t i = begin; i < cut; ++i) {
+    const std::string& x = t[i].text;
+    if (x == "(" || x == "[" || x == "{") ++depth;
+    if (x == ")" || x == "]" || x == "}") --depth;
+    if (depth != 0) continue;
+    if (x == "<" && i > begin && IsIdent(t[i - 1])) {
+      ++angle;
+    } else if (x == ">" && angle > 0) {
+      --angle;
+    } else if (x == ">>" && angle > 0) {
+      angle = angle >= 2 ? angle - 2 : 0;
+    } else if (angle == 0 && IsIdent(t[i]) && !IsAnnotationMacro(x)) {
+      ids.push_back(x);
+    }
+  }
+  if (ids.empty()) return p;
+  // The last identifier is the name unless it is clearly a type word.
+  std::string last = ids.back();
+  bool named = ids.size() >= 2 && !IsNonFunctionName(last) &&
+               !IsSpecifierWord(last);
+  if (named) {
+    p.name = last;
+    ids.pop_back();
+  }
+  for (size_t i = ids.size(); i-- > 0;) {
+    if (!IsSpecifierWord(ids[i])) {
+      p.type_head = ids[i];
+      break;
+    }
+  }
+  if (!named && p.type_head.empty()) p.type_head = last;
+  return p;
+}
+
+/// Extracts a field declaration from tokens [begin, end) (end = the ';' or
+/// '=' position; `full_end` extends past `=` so trailing annotations before
+/// the initializer are still visible — in practice annotations precede '='
+/// but the full statement range is cheap to search).
+void ExtractField(FileIndex* out, const std::vector<Token>& t, size_t begin,
+                  size_t end, size_t full_end, const std::string& class_name) {
+  if (class_name.empty()) return;
+  // Leading [[...]] attributes.
+  while (begin + 1 < end && t[begin].text == "[") {
+    begin = SkipBalanced(t, begin, "[", "]");
+  }
+  std::vector<size_t> ids;  // token indices of top-level identifiers
+  int angle = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& x = t[i].text;
+    if (IsIdent(t[i]) && IsAnnotationMacro(x)) break;
+    if (x == "(" || x == "{") {
+      i = SkipBalanced(t, i, x == "(" ? "(" : "{", x == "(" ? ")" : "}") - 1;
+      continue;
+    }
+    if (x == "[") break;  // array suffix
+    if (x == "<" && i > begin && IsIdent(t[i - 1])) {
+      ++angle;
+    } else if (x == ">" && angle > 0) {
+      --angle;
+    } else if (x == ">>" && angle > 0) {
+      angle = angle >= 2 ? angle - 2 : 0;
+    } else if (angle == 0) {
+      if (x == "," || x == ":") break;
+      if (IsIdent(t[i])) ids.push_back(i);
+    }
+  }
+  if (ids.size() < 2) return;  // lone macro invocation or access label
+  size_t name_idx = ids.back();
+  const std::string& name = t[name_idx].text;
+  if (IsNonFunctionName(name) || IsSpecifierWord(name)) return;
+
+  FieldInfo f;
+  f.class_name = class_name;
+  f.name = name;
+  f.file = out->path;
+  f.line = t[name_idx].line;
+  for (size_t i = ids.size() - 1; i-- > 0;) {
+    if (!IsSpecifierWord(t[ids[i]].text)) {
+      f.type_head = t[ids[i]].text;
+      break;
+    }
+  }
+  for (size_t i = begin; i < full_end; ++i) {
+    const std::string& x = t[i].text;
+    if (!IsIdent(t[i])) continue;
+    if (x == "WC_UNTRUSTED") f.untrusted = true;
+    if ((x == "WC_GUARDED_BY" || x == "WC_PT_GUARDED_BY") &&
+        i + 1 < full_end && t[i + 1].text == "(") {
+      size_t close = SkipBalanced(t, i + 1, "(", ")");
+      std::vector<std::string> args = SplitMacroArgs(t, i + 1, close - 1);
+      if (!args.empty()) f.guarded_by = args[0];
+    }
+  }
+  out->fields.push_back(std::move(f));
+}
+
+/// Scans one declaration statement at class or namespace scope. Records a
+/// FunctionInfo or FieldInfo as appropriate and returns the index just past
+/// the statement.
+size_t ScanStatement(FileIndex* out, const std::vector<Token>& t, size_t start,
+                     const std::vector<Scope>& scopes) {
+  const size_t n = t.size();
+  const std::string class_scope = InnermostClass(scopes);
+
+  // ---- Phase A: find the parameter-list '(' and the declarator name. ----
+  size_t popen = std::string::npos;
+  size_t name_begin = std::string::npos;  // first token of the name chain
+  std::string name;
+  std::vector<std::string> quals;  // explicit A::B qualifiers before the name
+  int angle = 0;
+  size_t i = start;
+  while (i < n) {
+    const std::string& x = t[i].text;
+    if (x == "operator" && IsIdent(t[i])) {
+      // operator<name>: consume symbol / () / [] / conversion-type tokens up
+      // to the parameter '('.
+      name_begin = i;
+      name = "operator";
+      size_t j = i + 1;
+      if (j + 1 < n && t[j].text == "(" && t[j + 1].text == ")") {
+        name += "()";
+        j += 2;
+      } else if (j + 1 < n && t[j].text == "[" && t[j + 1].text == "]") {
+        name += "[]";
+        j += 2;
+      } else {
+        while (j < n && t[j].text != "(" && t[j].text != ";") {
+          name += t[j].text;
+          ++j;
+        }
+      }
+      if (j >= n || t[j].text != "(") return SkipToSemi(t, i);
+      popen = j;
+      // Backward qualifiers: Foo::operator==.
+      size_t k = name_begin;
+      while (k >= 2 && t[k - 1].text == "::" && IsIdent(t[k - 2])) {
+        quals.insert(quals.begin(), t[k - 2].text);
+        k -= 2;
+        name_begin = k;
+      }
+      break;
+    }
+    if (x == ";") {
+      ExtractField(out, t, start, i, i, class_scope);
+      return i + 1;
+    }
+    if (x == "=" && angle == 0) {
+      // Variable / field with initializer (no parameter list seen yet).
+      ExtractField(out, t, start, i, i, class_scope);
+      return SkipToSemi(t, i);
+    }
+    if (x == "{" && angle == 0) {
+      // Brace initializer in a member like `std::atomic<bool> done_{false};`.
+      i = SkipBalanced(t, i, "{", "}");
+      continue;
+    }
+    if (x == "[") {
+      i = SkipBalanced(t, i, "[", "]");
+      continue;
+    }
+    if (x == "<" && i > start && IsIdent(t[i - 1]) &&
+        !IsNonFunctionName(t[i - 1].text)) {
+      ++angle;
+      ++i;
+      continue;
+    }
+    if (x == ">" && angle > 0) {
+      --angle;
+      ++i;
+      continue;
+    }
+    if (x == ">>" && angle > 0) {
+      angle = angle >= 2 ? angle - 2 : 0;
+      ++i;
+      continue;
+    }
+    if (x == "(") {
+      bool candidate = angle == 0 && i > start && IsIdent(t[i - 1]) &&
+                       !IsAnnotationMacro(t[i - 1].text) &&
+                       !IsNonFunctionName(t[i - 1].text);
+      if (!candidate) {
+        i = SkipBalanced(t, i, "(", ")");
+        continue;
+      }
+      popen = i;
+      // Backward name chain: [~] ident ( :: ident | :: ident<...> )*.
+      size_t k = i - 1;
+      name = t[k].text;
+      name_begin = k;
+      if (k > start && t[k - 1].text == "~") {
+        name = "~" + name;
+        --k;
+        name_begin = k;
+      }
+      while (k >= 2 && t[k - 1].text == "::") {
+        size_t q = k - 2;
+        if (IsIdent(t[q])) {
+          quals.insert(quals.begin(), t[q].text);
+          k = q;
+          name_begin = k;
+          continue;
+        }
+        if (t[q].text == ">" || t[q].text == ">>") {
+          size_t lt = MatchAngleBackward(t, q);
+          if (lt != std::string::npos && lt >= 1 && IsIdent(t[lt - 1])) {
+            quals.insert(quals.begin(), t[lt - 1].text);
+            k = lt - 1;
+            name_begin = k;
+            continue;
+          }
+        }
+        break;
+      }
+      break;
+    }
+    ++i;
+  }
+  if (popen == std::string::npos || popen >= n) return n;
+
+  // ---- Phase B: parameters. ----
+  size_t pclose = SkipBalanced(t, popen, "(", ")") - 1;  // index of ')'
+  FunctionInfo fn;
+  fn.file = out->path;
+  fn.line = t[name_begin].line;
+  fn.name = name;
+  fn.class_name = quals.empty() ? class_scope : quals.back();
+  {
+    std::string q = JoinScopeNames(scopes);
+    for (const std::string& part : quals) {
+      if (!q.empty()) q += "::";
+      q += part;
+    }
+    fn.qualified_name = q.empty() ? name : q + "::" + name;
+  }
+  for (size_t k = start; k < name_begin; ++k) {
+    const std::string& x = t[k].text;
+    if (IsIdent(t[k]) &&
+        (IsAnnotationMacro(x) || x == "inline" || x == "static" ||
+         x == "virtual" || x == "explicit" || x == "friend" ||
+         x == "extern")) {
+      if (k + 1 < name_begin && t[k + 1].text == "(" && IsAnnotationMacro(x))
+        k = SkipBalanced(t, k + 1, "(", ")") - 1;
+      continue;
+    }
+    if (!fn.return_type.empty()) fn.return_type += " ";
+    fn.return_type += x;
+  }
+  {
+    int depth = 0, pangle = 0;
+    size_t piece_begin = popen + 1;
+    for (size_t k = popen + 1; k <= pclose && k < n; ++k) {
+      const std::string& x = t[k].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      bool at_close = k == pclose;
+      if (!at_close && depth == 0) {
+        if (x == "<" && IsIdent(t[k - 1]))
+          ++pangle;
+        else if (x == ">" && pangle > 0)
+          --pangle;
+        else if (x == ">>" && pangle > 0)
+          pangle = pangle >= 2 ? pangle - 2 : 0;
+      }
+      if ((at_close && depth < 0) || (x == "," && depth == 0 && pangle == 0)) {
+        size_t piece_end = at_close ? pclose : k;
+        if (piece_end > piece_begin)
+          fn.params.push_back(ParseParam(t, piece_begin, piece_end));
+        piece_begin = k + 1;
+      }
+    }
+  }
+
+  // ---- Phase C: trailing specifiers, annotations, body or terminator. ----
+  i = pclose + 1;
+  size_t guard = 0;
+  while (i < n && ++guard < 4096) {
+    const std::string& x = t[i].text;
+    if (x == ";") {
+      out->functions.push_back(std::move(fn));
+      return i + 1;
+    }
+    if (x == "{") {
+      size_t close = SkipBalanced(t, i, "{", "}");  // index past '}'
+      fn.is_definition = true;
+      fn.body_begin = i + 1;
+      fn.body_end = close > 0 ? close - 1 : i + 1;
+      out->functions.push_back(std::move(fn));
+      return close;
+    }
+    if (x == "=") {
+      // = default / = delete / = 0 — still a declaration.
+      out->functions.push_back(std::move(fn));
+      return SkipToSemi(t, i);
+    }
+    if (x == ":") {
+      // Constructor initializer list: consume up to the body '{'. A '{'
+      // directly after an identifier or '>' is a brace initializer, not the
+      // body.
+      ++i;
+      while (i < n) {
+        const std::string& y = t[i].text;
+        if (y == "(") {
+          i = SkipBalanced(t, i, "(", ")");
+          continue;
+        }
+        if (y == "{") {
+          bool init_brace =
+              i > 0 && (IsIdent(t[i - 1]) || t[i - 1].text == ">");
+          if (!init_brace) break;  // function body
+          i = SkipBalanced(t, i, "{", "}");
+          continue;
+        }
+        if (y == ";") break;  // malformed; bail to terminator handling
+        ++i;
+      }
+      continue;
+    }
+    if (IsIdent(t[i]) && IsAnnotationMacro(x)) {
+      bool has_args = i + 1 < n && t[i + 1].text == "(";
+      size_t close = has_args ? SkipBalanced(t, i + 1, "(", ")") : i + 1;
+      if (x == "WC_UNTRUSTED") fn.untrusted = true;
+      if (x == "WC_BORROWED_VIEW") fn.borrowed_view = true;
+      if (x == "WC_NO_THREAD_SAFETY_ANALYSIS") fn.no_analysis = true;
+      if ((x == "WC_REQUIRES" || x == "WC_REQUIRES_SHARED") && has_args) {
+        for (std::string& a : SplitMacroArgs(t, i + 1, close - 1))
+          fn.requires_locks.push_back(std::move(a));
+      }
+      i = close;
+      continue;
+    }
+    if (x == "noexcept" && i + 1 < n && t[i + 1].text == "(") {
+      i = SkipBalanced(t, i + 1, "(", ")");
+      continue;
+    }
+    if (x == "[") {
+      i = SkipBalanced(t, i, "[", "]");
+      continue;
+    }
+    if (x == "->") {
+      // Trailing return type: consume its tokens.
+      ++i;
+      int tangle = 0;
+      while (i < n) {
+        const std::string& y = t[i].text;
+        if (y == "{" || y == ";" || (y == "=" && tangle == 0)) break;
+        if (IsIdent(t[i]) && IsAnnotationMacro(y)) break;
+        if (y == "<")
+          ++tangle;
+        else if (y == ">" && tangle > 0)
+          --tangle;
+        else if (y == "(") {
+          i = SkipBalanced(t, i, "(", ")");
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // const, override, final, &, &&, try, volatile, mutable, requires...
+    ++i;
+  }
+  return SkipToSemi(t, popen);
+}
+
+}  // namespace
+
+FileIndex IndexFile(std::string path, std::string_view content) {
+  TokenizedFile tf = Tokenize(content);
+  FileIndex out;
+  out.path = std::move(path);
+  out.comments = std::move(tf.comments);
+  out.tokens.reserve(tf.tokens.size());
+  for (Token& tok : tf.tokens) {
+    if (!tok.in_directive) out.tokens.push_back(std::move(tok));
+  }
+  ParseSuppressions(&out);
+
+  const std::vector<Token>& t = out.tokens;
+  const size_t n = t.size();
+  std::vector<Scope> scopes;
+  size_t i = 0;
+  while (i < n) {
+    const std::string& x = t[i].text;
+    if (x == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      ++i;
+      continue;
+    }
+    if (x == ";") {
+      ++i;
+      continue;
+    }
+    if (!IsIdent(t[i]) && x != "{" && x != "[" && x != "~") {
+      // Stray punctuation at declaration scope; skip it.
+      ++i;
+      continue;
+    }
+    if (x == "template") {
+      i = SkipTemplateHeader(t, i);
+      continue;
+    }
+    if (x == "inline" && i + 1 < n && t[i + 1].text == "namespace") {
+      ++i;
+      continue;
+    }
+    if (x == "namespace") {
+      size_t j = i + 1;
+      std::string ns;
+      while (j < n && (IsIdent(t[j]) || t[j].text == "::")) {
+        if (IsIdent(t[j])) {
+          if (!ns.empty()) ns += "::";
+          ns += t[j].text;
+        }
+        ++j;
+      }
+      if (j < n && t[j].text == "{") {
+        scopes.push_back(Scope{Scope::kNamespace, ns});
+        i = j + 1;
+      } else {
+        i = SkipToSemi(t, i);  // namespace alias or malformed
+      }
+      continue;
+    }
+    if (x == "class" || x == "struct" || x == "union") {
+      // Find the '{' or ';' terminating the class head.
+      size_t j = i + 1;
+      std::string cls;
+      bool found = false;
+      while (j < n) {
+        const std::string& y = t[j].text;
+        if (y == "(") {
+          j = SkipBalanced(t, j, "(", ")");
+          continue;
+        }
+        if (y == "<") {
+          // Template specialization arguments in the head.
+          int d = 0;
+          while (j < n) {
+            if (t[j].text == "<")
+              ++d;
+            else if (t[j].text == ">" && --d == 0) {
+              ++j;
+              break;
+            } else if (t[j].text == ">>" && (d -= 2) <= 0) {
+              ++j;
+              break;
+            }
+            ++j;
+          }
+          continue;
+        }
+        if (y == ";") {
+          // Forward declaration or elaborated specifier: treat as a plain
+          // statement so `struct stat st;` style members still index.
+          break;
+        }
+        if (y == "{") {
+          found = true;
+          break;
+        }
+        if (y == ":") {
+          // Base clause: scan on to the '{' that opens the class body.
+          size_t k = j;
+          while (k < n) {
+            const std::string& z = t[k].text;
+            if (z == "(") {
+              k = SkipBalanced(t, k, "(", ")");
+              continue;
+            }
+            if (z == "{" || z == ";") break;
+            ++k;
+          }
+          found = k < n && t[k].text == "{";
+          j = k;
+          break;
+        }
+        if (IsIdent(t[j]) && !IsAnnotationMacro(y) && y != "final" &&
+            y != "alignas") {
+          cls = y;
+        }
+        ++j;
+      }
+      if (found && j < n && t[j].text == "{") {
+        scopes.push_back(Scope{Scope::kClass, cls});
+        i = j + 1;
+      } else {
+        i = SkipToSemi(t, i);
+      }
+      continue;
+    }
+    if (x == "enum") {
+      size_t j = i + 1;
+      while (j < n && t[j].text != "{" && t[j].text != ";") ++j;
+      if (j < n && t[j].text == "{") j = SkipBalanced(t, j, "{", "}");
+      i = j < n && j < t.size() && t[j].text == ";" ? j + 1 : j;
+      continue;
+    }
+    if (x == "using" || x == "typedef" || x == "static_assert" ||
+        x == "friend") {
+      i = SkipToSemi(t, i);
+      continue;
+    }
+    if (x == "extern" && i + 1 < n && t[i + 1].kind == TokKind::kString) {
+      i += 2;  // extern "C" — the '{' (if any) becomes a transparent block
+      continue;
+    }
+    if ((x == "public" || x == "private" || x == "protected") && i + 1 < n &&
+        t[i + 1].text == ":") {
+      i += 2;
+      continue;
+    }
+    if (x == "{") {
+      scopes.push_back(Scope{Scope::kBlock, ""});
+      ++i;
+      continue;
+    }
+    size_t next = ScanStatement(&out, t, i, scopes);
+    i = next > i ? next : i + 1;
+  }
+  return out;
+}
+
+RepoIndex BuildRepoIndex(std::vector<FileIndex> files) {
+  std::sort(files.begin(), files.end(),
+            [](const FileIndex& a, const FileIndex& b) {
+              return a.path < b.path;
+            });
+  RepoIndex idx;
+  idx.files = std::move(files);
+  for (size_t fi = 0; fi < idx.files.size(); ++fi) {
+    const FileIndex& file = idx.files[fi];
+    for (size_t fj = 0; fj < file.functions.size(); ++fj) {
+      const FunctionInfo& fn = file.functions[fj];
+      if (fn.untrusted) idx.untrusted_functions.insert(fn.name);
+      if (fn.borrowed_view) idx.borrowed_view_functions.insert(fn.name);
+      idx.functions_by_name[fn.name].push_back(RepoIndex::FunctionRef{fi, fj});
+    }
+    for (const FieldInfo& field : file.fields) {
+      FieldInfo& slot = idx.fields_by_class[field.class_name][field.name];
+      if (slot.name.empty()) {
+        slot = field;
+      } else {
+        // Header and .cc views of the same field: keep the annotated one.
+        if (slot.guarded_by.empty()) slot.guarded_by = field.guarded_by;
+        slot.untrusted = slot.untrusted || field.untrusted;
+        if (slot.type_head.empty()) slot.type_head = field.type_head;
+      }
+    }
+  }
+  return idx;
+}
+
+std::string DebugSummary(const RepoIndex& index) {
+  std::ostringstream os;
+  for (const FileIndex& file : index.files) {
+    os << "== " << file.path << "\n";
+    for (const FunctionInfo& fn : file.functions) {
+      os << "fn " << fn.qualified_name << "(";
+      for (size_t i = 0; i < fn.params.size(); ++i) {
+        if (i) os << ", ";
+        os << fn.params[i].type_head;
+        if (!fn.params[i].name.empty()) os << " " << fn.params[i].name;
+        if (fn.params[i].untrusted) os << " !untrusted";
+      }
+      os << ")";
+      if (!fn.return_type.empty()) os << " ret={" << fn.return_type << "}";
+      if (fn.untrusted) os << " untrusted";
+      if (fn.borrowed_view) os << " borrowed_view";
+      if (fn.no_analysis) os << " no_analysis";
+      for (const std::string& r : fn.requires_locks) os << " requires=" << r;
+      if (fn.is_definition) os << " def";
+      os << " @" << fn.line << "\n";
+    }
+    for (const FieldInfo& f : file.fields) {
+      os << "field " << f.class_name << "::" << f.name << " type="
+         << f.type_head;
+      if (!f.guarded_by.empty()) os << " guarded_by=" << f.guarded_by;
+      if (f.untrusted) os << " untrusted";
+      os << " @" << f.line << "\n";
+    }
+  }
+  os << "untrusted_functions:";
+  for (const std::string& s : index.untrusted_functions) os << " " << s;
+  os << "\nborrowed_view_functions:";
+  for (const std::string& s : index.borrowed_view_functions) os << " " << s;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace analyze
+}  // namespace wiclean

@@ -1,0 +1,126 @@
+#ifndef WICLEAN_TOOLS_ANALYZE_INDEX_H_
+#define WICLEAN_TOOLS_ANALYZE_INDEX_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tokenizer.h"
+
+namespace wiclean {
+namespace analyze {
+
+/// Declaration/scope indexer and per-function summary extractor — the shared
+/// front end under the three wican passes (passes.h). One FileIndex is built
+/// per source file; BuildRepoIndex merges them into the cross-translation-
+/// unit view: a function annotated WC_UNTRUSTED in a header taints calls in
+/// every .cc that names it, a WC_GUARDED_BY field declared in one file is
+/// checked at access sites in all files, and lock-acquisition summaries
+/// compose across files into one lock-order graph.
+///
+/// The index is deterministic in file-set order: BuildRepoIndex sorts files
+/// by path and every merged table is an ordered map, so shuffling the input
+/// ordering produces a byte-identical DebugSummary (covered by
+/// analyze_test.cc).
+
+/// One function parameter.
+struct ParamInfo {
+  std::string type_head;  // last depth-0 identifier of the type, e.g.
+                          // "string_view" for `std::string_view bytes`
+  std::string name;       // "" when unnamed
+  bool untrusted = false; // the parameter carries WC_UNTRUSTED
+};
+
+/// Summary of one function declaration or definition.
+struct FunctionInfo {
+  std::string file;
+  size_t line = 0;
+  std::string class_name;      // innermost enclosing class ("" for free)
+  std::string name;            // last component, e.g. "DecodeBlock"
+  std::string qualified_name;  // scopes + name joined with "::"
+  std::string return_type;     // raw token text, "" for ctors/dtors
+  std::vector<ParamInfo> params;
+  bool untrusted = false;      // WC_UNTRUSTED: outputs are attacker bytes
+  bool borrowed_view = false;  // WC_BORROWED_VIEW: outputs alias the receiver
+  bool no_analysis = false;    // WC_NO_THREAD_SAFETY_ANALYSIS
+  std::vector<std::string> requires_locks;  // WC_REQUIRES(...) arguments
+  bool is_definition = false;
+  // Token span of the body in FileIndex::tokens, excluding the outer braces:
+  // [body_begin, body_end). Zero-length for declarations.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+};
+
+/// One class data member (every member is recorded, annotated or not — the
+/// passes resolve `obj.field` chains through these).
+struct FieldInfo {
+  std::string class_name;
+  std::string name;
+  std::string type_head;   // e.g. "BoundedQueue" for `BoundedQueue<T> q_`
+  std::string guarded_by;  // mutex expression from WC_GUARDED_BY, "" if none
+  bool untrusted = false;  // WC_UNTRUSTED: holds raw artifact bytes
+  std::string file;
+  size_t line = 0;
+};
+
+/// Per-line wican suppression: `// wican:allow(<rule>): justification`.
+struct Suppression {
+  size_t line = 0;
+  std::string rule;
+  std::string justification;  // text after the closing paren, trimmed
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<Token> tokens;  // preprocessor-directive tokens filtered out
+  std::vector<Comment> comments;
+  std::vector<FunctionInfo> functions;
+  std::vector<FieldInfo> fields;
+  std::vector<Suppression> suppressions;
+};
+
+/// The merged, whole-repo view.
+struct RepoIndex {
+  std::vector<FileIndex> files;  // sorted by path
+
+  // Names (last component) of functions whose outputs are untrusted bytes /
+  // borrowed views. Seeded from annotations; the taint pass extends
+  // `untrusted_functions` via summary propagation.
+  std::set<std::string> untrusted_functions;
+  std::set<std::string> borrowed_view_functions;
+
+  // class -> field -> info. Unannotated fields are here too (type_head is
+  // what lets passes resolve member chains like `shard->queue.Pop`).
+  std::map<std::string, std::map<std::string, FieldInfo>> fields_by_class;
+
+  // function name (last component) -> every declaration/definition seen.
+  // Indices into files/functions rather than pointers so the structure is
+  // copyable; resolved via function_at().
+  struct FunctionRef {
+    size_t file = 0;
+    size_t fn = 0;
+  };
+  std::map<std::string, std::vector<FunctionRef>> functions_by_name;
+
+  const FunctionInfo& function_at(FunctionRef ref) const {
+    return files[ref.file].functions[ref.fn];
+  }
+};
+
+/// Tokenizes and indexes one file. `path` is repo-relative.
+FileIndex IndexFile(std::string path, std::string_view content);
+
+/// Merges per-file indexes (sorted by path; annotation tables unioned).
+RepoIndex BuildRepoIndex(std::vector<FileIndex> files);
+
+/// Stable, human-readable dump of every function/field summary — the
+/// determinism oracle for tests and `wican --dump`.
+std::string DebugSummary(const RepoIndex& index);
+
+}  // namespace analyze
+}  // namespace wiclean
+
+#endif  // WICLEAN_TOOLS_ANALYZE_INDEX_H_

@@ -1,0 +1,1675 @@
+#include "passes.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace wiclean {
+namespace analyze {
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+
+bool IsViewType(const std::string& type_head) {
+  return type_head == "string_view" || type_head == "Span" ||
+         type_head == "span";
+}
+
+bool IsOwningContainer(const std::string& type_head) {
+  return type_head == "string" || type_head == "basic_string" ||
+         type_head == "vector" || type_head == "deque" ||
+         type_head == "array" || type_head == "ostringstream" ||
+         type_head == "stringstream";
+}
+
+bool IsLockType(const std::string& type_head) {
+  return type_head == "MutexLock" || type_head == "lock_guard" ||
+         type_head == "unique_lock" || type_head == "scoped_lock";
+}
+
+bool IsComparisonOp(const std::string& text) {
+  return text == "<" || text == ">" || text == "<=" || text == ">=" ||
+         text == "==" || text == "!=";
+}
+
+bool IsSizeSinkCallee(const std::string& name) {
+  static const std::set<std::string> kSinks = {
+      "resize", "reserve", "memcpy",  "memmove", "memset",
+      "malloc", "calloc",  "realloc", "alloca",  "strncpy",
+  };
+  return kSinks.count(name) != 0;
+}
+
+bool IsDeferredCallee(const std::string& name) {
+  static const std::set<std::string> kDeferred = {
+      "Submit", "Push", "Defer", "Enqueue", "Post", "PostTask", "Schedule",
+  };
+  return kDeferred.count(name) != 0;
+}
+
+/// Container metadata accessors: calling these on an untrusted container is
+/// bounded by the container's real (already validated) extent, so the result
+/// is not itself attacker-amplifiable.
+bool IsMetadataCall(const std::string& name) {
+  return name == "size" || name == "length" || name == "data" ||
+         name == "empty" || name == "remaining" || name == "capacity" ||
+         name == "begin" || name == "end";
+}
+
+/// Keywords that can never start a local declaration's type.
+bool IsStatementKeyword(const std::string& s) {
+  static const std::set<std::string> kSet = {
+      "return",  "delete", "throw",    "if",     "for",      "while",
+      "switch",  "do",     "else",     "break",  "continue", "case",
+      "goto",    "new",    "co_return", "sizeof", "default",  "using",
+      "typedef", "public", "private",  "protected",
+  };
+  return kSet.count(s) != 0;
+}
+
+size_t SkipBalanced(const std::vector<Token>& t, size_t i,
+                    std::string_view open, std::string_view close,
+                    size_t limit) {
+  int depth = 0;
+  for (; i < limit; ++i) {
+    if (t[i].text == open) {
+      ++depth;
+    } else if (t[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return limit;
+}
+
+/// Tries to skip a template argument list at '<' (index i). Fails (returns
+/// npos) if a ';', '{' or '}' is hit first — which means the '<' was a
+/// comparison, not template arguments.
+size_t TrySkipAngles(const std::vector<Token>& t, size_t i, size_t limit) {
+  int depth = 0;
+  for (; i < limit; ++i) {
+    const std::string& x = t[i].text;
+    if (x == ";" || x == "{" || x == "}") return std::string::npos;
+    if (x == "(") {
+      i = SkipBalanced(t, i, "(", ")", limit) - 1;
+      continue;
+    }
+    if (x == "<") {
+      ++depth;
+    } else if (x == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (x == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// A member chain: `a.b->c` / `this->x` / `std::min` read as components
+/// ("::"-qualified names merge into one component).
+struct Chain {
+  std::vector<std::string> comps;
+  size_t begin = 0;
+  size_t end = 0;  // one past the last token
+
+  std::string Key() const {
+    std::string k;
+    for (const std::string& c : comps) {
+      if (!k.empty()) k += ".";
+      k += c;
+    }
+    return k;
+  }
+  std::string Last() const { return comps.empty() ? "" : comps.back(); }
+  /// Unqualified callee name: "std::min" -> "min".
+  std::string LastUnqualified() const {
+    std::string l = Last();
+    size_t pos = l.rfind("::");
+    return pos == std::string::npos ? l : l.substr(pos + 2);
+  }
+};
+
+Chain ReadChain(const std::vector<Token>& t, size_t i, size_t limit) {
+  Chain c;
+  c.begin = i;
+  std::string cur = t[i].text;
+  size_t j = i + 1;
+  while (j + 1 < limit + 1) {
+    if (j + 1 < limit && t[j].text == "::" && IsIdent(t[j + 1])) {
+      cur += "::" + t[j + 1].text;
+      j += 2;
+      continue;
+    }
+    if (j + 1 < limit && (t[j].text == "." || t[j].text == "->") &&
+        IsIdent(t[j + 1])) {
+      c.comps.push_back(cur);
+      cur = t[j + 1].text;
+      j += 2;
+      continue;
+    }
+    break;
+  }
+  c.comps.push_back(cur);
+  c.end = j;
+  return c;
+}
+
+/// True when token i starts a chain (is an identifier not preceded by a
+/// member/scope separator).
+bool StartsChain(const std::vector<Token>& t, size_t i, size_t begin) {
+  if (!IsIdent(t[i])) return false;
+  if (i == begin) return true;
+  const std::string& p = t[i - 1].text;
+  return p != "." && p != "->" && p != "::" && p != "~";
+}
+
+// ---------------------------------------------------------------------------
+// Local declarations
+// ---------------------------------------------------------------------------
+
+struct LocalDecl {
+  std::string type_head;
+  size_t name_tok = 0;
+  size_t init_begin = 0;  // == init_end when there is no initializer
+  size_t init_end = 0;
+  bool is_ctor_call = false;  // `Type name(args);` or `Type name{args};`
+};
+
+struct FnContext {
+  const FileIndex* file = nullptr;
+  const FunctionInfo* fn = nullptr;
+  std::map<std::string, LocalDecl> locals;     // name -> declaration
+  std::map<size_t, std::string> decl_at;       // name_tok -> name
+};
+
+/// Collects `Type name = ...;` / `Type name(args);` / range-for declarations
+/// (and WICLEAN_ASSIGN_OR_RETURN(Type name, expr)) from a body token range.
+void CollectLocalDecls(const std::vector<Token>& t, size_t b, size_t e,
+                       FnContext* ctx) {
+  auto record = [&](std::string name, LocalDecl decl) {
+    ctx->decl_at[decl.name_tok] = name;
+    ctx->locals[std::move(name)] = std::move(decl);
+  };
+  for (size_t i = b; i < e; ++i) {
+    if (!IsIdent(t[i])) continue;
+    bool stmt_start =
+        i == b || t[i - 1].text == ";" || t[i - 1].text == "{" ||
+        t[i - 1].text == "}" ||
+        (t[i - 1].text == "(" && i >= 2 && t[i - 2].text == "for");
+    if (!stmt_start) continue;
+    const std::string& head = t[i].text;
+    if (IsStatementKeyword(head)) continue;
+
+    if (head == "WICLEAN_ASSIGN_OR_RETURN" && i + 1 < e &&
+        t[i + 1].text == "(") {
+      size_t close = SkipBalanced(t, i + 1, "(", ")", e);
+      // First macro argument is `Type name`; the rest is the initializer.
+      size_t comma = std::string::npos;
+      int depth = 0;
+      for (size_t j = i + 2; j + 1 < close; ++j) {
+        const std::string& x = t[j].text;
+        if (x == "(" || x == "[" || x == "{" || x == "<") ++depth;
+        if (x == ")" || x == "]" || x == "}" || x == ">") --depth;
+        if (x == "," && depth == 0) {
+          comma = j;
+          break;
+        }
+      }
+      if (comma != std::string::npos && comma >= i + 4 &&
+          IsIdent(t[comma - 1])) {
+        LocalDecl d;
+        d.name_tok = comma - 1;
+        d.init_begin = comma + 1;
+        d.init_end = close > 0 ? close - 1 : comma + 1;
+        for (size_t j = comma - 1; j-- > i + 2;) {
+          if (IsIdent(t[j])) {
+            d.type_head = t[j].text;
+            break;
+          }
+          if (t[j].text != "*" && t[j].text != "&" && t[j].text != "&&" &&
+              t[j].text != ">" && t[j].text != "::")
+            break;
+          if (t[j].text == ">") {
+            // Back over template args to the type name.
+            int ad = 0;
+            while (j < e && j > i + 1) {
+              if (t[j].text == ">") ++ad;
+              if (t[j].text == "<" && --ad == 0) break;
+              --j;
+            }
+          }
+        }
+        record(t[comma - 1].text, d);
+      }
+      i = close - 1;
+      continue;
+    }
+
+    // Type chain: ident(::ident)* with one optional <...> group, then
+    // pointer/ref modifiers, then the name.
+    size_t j = i;
+    std::string type_head;
+    bool ok = false;
+    while (j < e && IsIdent(t[j])) {
+      if (IsStatementKeyword(t[j].text)) break;
+      if (t[j].text != "const" && t[j].text != "constexpr" &&
+          t[j].text != "static" && t[j].text != "typename" &&
+          t[j].text != "volatile") {
+        type_head = t[j].text;
+      }
+      ++j;
+      if (j < e && t[j].text == "<") {
+        size_t past = TrySkipAngles(t, j, e);
+        if (past == std::string::npos) break;
+        j = past;
+      }
+      if (j < e && t[j].text == "::" && j + 1 < e && IsIdent(t[j + 1])) {
+        ++j;
+        continue;
+      }
+      ok = !type_head.empty();
+      break;
+    }
+    if (!ok || type_head.empty()) continue;
+    while (j < e && (t[j].text == "*" || t[j].text == "&" ||
+                     t[j].text == "&&" || t[j].text == "const"))
+      ++j;
+    if (j >= e || !IsIdent(t[j]) || IsStatementKeyword(t[j].text)) continue;
+    size_t name_tok = j;
+    if (j + 1 >= e) continue;
+    const std::string& after = t[j + 1].text;
+    LocalDecl d;
+    d.type_head = type_head;
+    d.name_tok = name_tok;
+    if (after == "=") {
+      d.init_begin = j + 2;
+      int depth = 0;
+      size_t k = j + 2;
+      for (; k < e; ++k) {
+        const std::string& x = t[k].text;
+        if (x == "(" || x == "[" || x == "{") ++depth;
+        if (x == ")" || x == "]" || x == "}") --depth;
+        if (depth < 0 || (x == ";" && depth == 0)) break;
+      }
+      d.init_end = k;
+    } else if (after == "(") {
+      d.is_ctor_call = true;
+      d.init_begin = j + 2;
+      d.init_end = SkipBalanced(t, j + 1, "(", ")", e) - 1;
+    } else if (after == "{") {
+      d.is_ctor_call = true;
+      d.init_begin = j + 2;
+      d.init_end = SkipBalanced(t, j + 1, "{", "}", e) - 1;
+    } else if (after == ":") {
+      // Range-for: `for (const auto& x : range)`.
+      d.init_begin = j + 2;
+      int depth = 0;
+      size_t k = j + 2;
+      for (; k < e; ++k) {
+        const std::string& x = t[k].text;
+        if (x == "(" || x == "[" || x == "{") ++depth;
+        if ((x == ")" || x == "]" || x == "}") && depth-- == 0) break;
+        if (x == ";" && depth == 0) break;
+      }
+      d.init_end = k;
+    } else if (after == ";" || after == ",") {
+      d.init_begin = d.init_end = j + 1;
+    } else {
+      continue;
+    }
+    record(t[name_tok].text, d);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chain resolution against the repo index
+// ---------------------------------------------------------------------------
+
+const FieldInfo* LookupField(const RepoIndex& idx, const std::string& cls,
+                             const std::string& name) {
+  auto it = idx.fields_by_class.find(cls);
+  if (it == idx.fields_by_class.end()) return nullptr;
+  auto fit = it->second.find(name);
+  return fit == it->second.end() ? nullptr : &fit->second;
+}
+
+const ParamInfo* LookupParam(const FunctionInfo& fn, const std::string& name) {
+  for (const ParamInfo& p : fn.params) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+/// Resolves a chain to its final field, walking member types:
+/// `state.pending` -> MergeState::pending. Returns nullptr when any step
+/// fails to resolve.
+const FieldInfo* ResolveField(const RepoIndex& idx, const FnContext& ctx,
+                              const std::vector<std::string>& comps) {
+  if (comps.empty()) return nullptr;
+  std::string cls;
+  size_t pos = 0;
+  const std::string& head = comps[0];
+  if (head == "this") {
+    cls = ctx.fn->class_name;
+    pos = 1;
+  } else if (ctx.locals.count(head) != 0) {
+    cls = ctx.locals.at(head).type_head;
+    pos = 1;
+  } else if (const ParamInfo* p = LookupParam(*ctx.fn, head)) {
+    cls = p->type_head;
+    pos = 1;
+  } else {
+    cls = ctx.fn->class_name;  // bare member of the enclosing class
+  }
+  if (pos >= comps.size() && pos == 1) return nullptr;
+  const FieldInfo* f = nullptr;
+  for (; pos < comps.size(); ++pos) {
+    f = LookupField(idx, cls, comps[pos]);
+    if (f == nullptr) return nullptr;
+    cls = f->type_head;
+  }
+  return f;
+}
+
+/// Resolves the static type (head) of a chain: a receiver for method-call
+/// resolution. Empty string when unknown.
+std::string ResolveChainType(const RepoIndex& idx, const FnContext& ctx,
+                             const std::vector<std::string>& comps) {
+  if (comps.empty()) return "";
+  const std::string& head = comps[0];
+  std::string cls;
+  size_t pos = 1;
+  if (head == "this") {
+    cls = ctx.fn->class_name;
+  } else if (ctx.locals.count(head) != 0) {
+    cls = ctx.locals.at(head).type_head;
+  } else if (const ParamInfo* p = LookupParam(*ctx.fn, head)) {
+    cls = p->type_head;
+  } else if (const FieldInfo* f =
+                 LookupField(idx, ctx.fn->class_name, head)) {
+    cls = f->type_head;
+  } else {
+    return "";
+  }
+  for (; pos < comps.size(); ++pos) {
+    const FieldInfo* f = LookupField(idx, cls, comps[pos]);
+    if (f == nullptr) return "";
+    cls = f->type_head;
+  }
+  return cls;
+}
+
+std::vector<const FunctionInfo*> FindFunctionDefs(
+    const RepoIndex& idx, const std::string& name,
+    const std::string& receiver_class, const std::string& caller_class) {
+  std::vector<const FunctionInfo*> out;
+  auto it = idx.functions_by_name.find(name);
+  if (it == idx.functions_by_name.end()) return out;
+  for (RepoIndex::FunctionRef ref : it->second) {
+    const FunctionInfo& fn = idx.function_at(ref);
+    if (!fn.is_definition) continue;
+    if (!receiver_class.empty()) {
+      if (fn.class_name == receiver_class) out.push_back(&fn);
+    } else {
+      out.push_back(&fn);
+    }
+  }
+  if (receiver_class.empty() && out.size() > 1) {
+    // No receiver: prefer a method of the caller's own class, then a free
+    // function; ambiguity otherwise.
+    std::vector<const FunctionInfo*> same, free_fns;
+    for (const FunctionInfo* f : out) {
+      if (!caller_class.empty() && f->class_name == caller_class)
+        same.push_back(f);
+      if (f->class_name.empty()) free_fns.push_back(f);
+    }
+    if (same.size() == 1) return same;
+    if (free_fns.size() == 1) return free_fns;
+    out.clear();  // ambiguous — resolve to nothing rather than guess
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Taint pass
+// ---------------------------------------------------------------------------
+
+struct TaintSummary {
+  bool returns_taint = false;
+  bool taints_outparam = false;
+};
+
+struct TaintEngine {
+  const RepoIndex& idx;
+  // Two summaries per function name: calling a `ret` function yields a
+  // tainted result; calling an `out` function taints its `&arg` operands.
+  // Kept separate so a function that merely *returns* tainted stats does not
+  // smear taint over every object passed to it by pointer.
+  const std::set<std::string>& untrusted_ret;
+  const std::set<std::string>& untrusted_out;
+  const FileIndex& file;
+  const FunctionInfo& fn;
+  FnContext ctx;
+  std::set<std::string> tainted;  // chain keys
+  std::vector<AnalyzeFinding>* findings;  // null during summary iterations
+  TaintSummary summary;
+
+  TaintEngine(const RepoIndex& i, const std::set<std::string>& ret,
+              const std::set<std::string>& out_set, const FileIndex& f,
+              const FunctionInfo& func, std::vector<AnalyzeFinding>* out)
+      : idx(i),
+        untrusted_ret(ret),
+        untrusted_out(out_set),
+        file(f),
+        fn(func),
+        findings(out) {
+    ctx.file = &f;
+    ctx.fn = &func;
+    CollectLocalDecls(f.tokens, func.body_begin, func.body_end, &ctx);
+    for (const ParamInfo& p : func.params) {
+      if (p.untrusted && !p.name.empty()) tainted.insert(p.name);
+    }
+  }
+
+  bool ChainTainted(const Chain& c, bool is_call) const {
+    if (is_call && IsMetadataCall(c.LastUnqualified())) return false;
+    if (is_call) {
+      if (untrusted_ret.count(c.LastUnqualified()) != 0) return true;
+      // The receiver being tainted does not make a call result tainted
+      // unless the callee itself is untrusted (metadata rule above is the
+      // common case; other calls on tainted objects are unknown — treat the
+      // receiver occurrence conservatively below only for non-calls).
+    }
+    std::string key = c.Key();
+    for (const std::string& tk : tainted) {
+      if (key == tk) return true;
+      if (key.size() > tk.size() && key.compare(0, tk.size(), tk) == 0 &&
+          key[tk.size()] == '.')
+        return true;  // member of a tainted aggregate
+    }
+    if (!is_call) {
+      const FieldInfo* f = ResolveField(idx, ctx, c.comps);
+      if (f != nullptr && f->untrusted) return true;
+    }
+    return false;
+  }
+
+  /// Does any tainted value occur in [b, e)? WC_BOUNDS_CHECKED(...) regions
+  /// are skipped — the annotation asserts the wrapped value is bounded.
+  bool ExprTainted(size_t b, size_t e) const {
+    const std::vector<Token>& t = file.tokens;
+    for (size_t i = b; i < e; ++i) {
+      if (!StartsChain(t, i, b)) continue;
+      Chain c = ReadChain(t, i, e);
+      if (c.Key() == "WC_BOUNDS_CHECKED" && c.end < e &&
+          t[c.end].text == "(") {
+        i = SkipBalanced(t, c.end, "(", ")", e) - 1;
+        continue;
+      }
+      bool is_call = c.end < e && t[c.end].text == "(";
+      if (ChainTainted(c, is_call)) return true;
+      i = c.end - 1;
+    }
+    return false;
+  }
+
+  bool ExprHasComparison(size_t b, size_t e) const {
+    for (size_t i = b; i < e; ++i) {
+      if (IsComparisonOp(file.tokens[i].text)) return true;
+    }
+    return false;
+  }
+
+  /// Removes taint from every tainted chain that occurs in [b, e).
+  void GateExpr(size_t b, size_t e) {
+    const std::vector<Token>& t = file.tokens;
+    std::vector<std::string> cleared;
+    for (size_t i = b; i < e; ++i) {
+      if (!StartsChain(t, i, b)) continue;
+      Chain c = ReadChain(t, i, e);
+      std::string key = c.Key();
+      for (const std::string& tk : tainted) {
+        if (tk == key) cleared.push_back(tk);
+      }
+      i = c.end - 1;
+    }
+    for (const std::string& k : cleared) tainted.erase(k);
+  }
+
+  void Report(size_t line, const std::string& message) {
+    if (findings == nullptr) return;
+    findings->push_back(
+        AnalyzeFinding{file.path, line, "tainted-size", message});
+  }
+
+  /// Extracts the condition range of a for-header: between its two
+  /// top-level ';' tokens.
+  bool ForCondRange(size_t open, size_t close, size_t* cb, size_t* ce) const {
+    const std::vector<Token>& t = file.tokens;
+    int depth = 0;
+    size_t first = 0, second = 0;
+    for (size_t i = open + 1; i < close; ++i) {
+      const std::string& x = t[i].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (x == ";" && depth == 0) {
+        if (first == 0) {
+          first = i;
+        } else {
+          second = i;
+          break;
+        }
+      }
+    }
+    if (first == 0 || second == 0) return false;
+    *cb = first + 1;
+    *ce = second;
+    return true;
+  }
+
+  void Run() {
+    const std::vector<Token>& t = file.tokens;
+    const size_t b = fn.body_begin, e = fn.body_end;
+    for (size_t i = b; i < e; ++i) {
+      const std::string& x = t[i].text;
+
+      // Declarations with initializers behave like assignments.
+      auto decl_it = ctx.decl_at.find(i);
+      if (decl_it != ctx.decl_at.end()) {
+        const LocalDecl& d = ctx.locals.at(decl_it->second);
+        if (d.init_end > d.init_begin) {
+          HandleAssign(decl_it->second, d.init_begin, d.init_end,
+                       /*compound=*/false, t[i].line);
+          if (d.is_ctor_call && IsOwningContainer(d.type_head) &&
+              ExprTainted(d.init_begin, d.init_end)) {
+            Report(t[i].line,
+                   "tainted value used as " + d.type_head +
+                       " construction size for '" + decl_it->second +
+                       "' without a bounds gate");
+          }
+        }
+        continue;
+      }
+
+      if (!IsIdent(t[i])) {
+        if (x == "[" && i > b &&
+            (IsIdent(t[i - 1]) || t[i - 1].text == ")" ||
+             t[i - 1].text == "]")) {
+          size_t close = SkipBalanced(t, i, "[", "]", e);
+          if (ExprTainted(i + 1, close - 1)) {
+            Report(t[i].line,
+                   "tainted value used as array index without a bounds gate");
+            GateExpr(i + 1, close - 1);  // report each index once
+          }
+          continue;
+        }
+        if (x == "=" || x == "+=" || x == "-=" || x == "*=" || x == "|=" ||
+            x == "&=" || x == "^=" || x == "<<=" || x == ">>=") {
+          HandleAssignAt(i);
+        }
+        continue;
+      }
+
+      // Identifier-led constructs.
+      if (x == "if" && i + 1 < e && t[i + 1].text == "(") {
+        size_t close = SkipBalanced(t, i + 1, "(", ")", e);
+        if (ExprHasComparison(i + 2, close - 1)) GateExpr(i + 2, close - 1);
+        continue;  // still scan the condition tokens for sinks
+      }
+      if ((x == "while" || x == "for") && i + 1 < e &&
+          t[i + 1].text == "(") {
+        size_t close = SkipBalanced(t, i + 1, "(", ")", e);
+        size_t cb = i + 2, ce = close - 1;
+        bool have = x == "while" ? true : ForCondRange(i + 1, close - 1, &cb,
+                                                       &ce);
+        if (have && ExprHasComparison(cb, ce) && ExprTainted(cb, ce)) {
+          Report(t[i].line,
+                 "tainted value used as loop bound without a bounds gate");
+          GateExpr(cb, ce);
+        }
+        continue;
+      }
+      if (x == "WC_BOUNDS_CHECKED" && i + 1 < e && t[i + 1].text == "(") {
+        size_t close = SkipBalanced(t, i + 1, "(", ")", e);
+        GateExpr(i + 2, close - 1);
+        i = i + 1;  // contents still scanned for nested sinks
+        continue;
+      }
+      if (x == "return") {
+        size_t j = i + 1;
+        int depth = 0;
+        for (; j < e; ++j) {
+          const std::string& y = t[j].text;
+          if (y == "(" || y == "[" || y == "{") ++depth;
+          if (y == ")" || y == "]" || y == "}") --depth;
+          if (y == ";" && depth <= 0) break;
+        }
+        if (ExprTainted(i + 1, j)) summary.returns_taint = true;
+        continue;
+      }
+
+      if (!StartsChain(t, i, b)) continue;
+      Chain c = ReadChain(t, i, e);
+      bool is_call = c.end < e && t[c.end].text == "(";
+      if (is_call) {
+        size_t close = SkipBalanced(t, c.end, "(", ")", e);
+        const std::string callee = c.LastUnqualified();
+        if (IsSizeSinkCallee(callee) && ExprTainted(c.end + 1, close - 1)) {
+          Report(t[i].line, "tainted value reaches " + callee +
+                                "() without a bounds gate");
+          GateExpr(c.end + 1, close - 1);
+        }
+        if (untrusted_out.count(callee) != 0) {
+          TaintOutArgs(c.end, close);
+        }
+        i = c.end - 1;
+        continue;
+      }
+      i = c.end - 1;
+    }
+  }
+
+  /// `&chain` arguments of a call to an untrusted function become tainted.
+  void TaintOutArgs(size_t open, size_t close) {
+    const std::vector<Token>& t = file.tokens;
+    int depth = 0;
+    for (size_t i = open + 1; i + 1 < close; ++i) {
+      const std::string& x = t[i].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (depth != 0 || x != "&") continue;
+      bool arg_start = t[i - 1].text == "(" || t[i - 1].text == ",";
+      if (!arg_start || i + 1 >= close || !IsIdent(t[i + 1])) continue;
+      Chain c = ReadChain(t, i + 1, close);
+      tainted.insert(c.Key());
+      MarkOutparamIfParam(c);
+    }
+  }
+
+  void MarkOutparamIfParam(const Chain& c) {
+    if (c.comps.size() != 1) return;
+    // Writing taint through a pointer/reference parameter escapes to the
+    // caller — the function behaves like an untrusted source.
+    if (LookupParam(fn, c.comps[0]) != nullptr) summary.taints_outparam = true;
+  }
+
+  void HandleAssignAt(size_t eq) {
+    const std::vector<Token>& t = file.tokens;
+    const size_t b = fn.body_begin, e = fn.body_end;
+    if (eq == b || !IsIdent(t[eq - 1])) return;
+    // Walk the LHS chain backwards.
+    size_t s = eq - 1;
+    while (s > b && (t[s - 1].text == "." || t[s - 1].text == "->" ||
+                     t[s - 1].text == "::")) {
+      if (s >= 2 && IsIdent(t[s - 2]))
+        s -= 2;
+      else
+        break;
+    }
+    bool deref = s > b && t[s - 1].text == "*";
+    Chain lhs = ReadChain(t, s, eq);
+    // RHS extent.
+    size_t re = eq + 1;
+    int depth = 0;
+    for (; re < e; ++re) {
+      const std::string& x = t[re].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (depth < 0 || (x == ";" && depth == 0) ||
+          (x == "," && depth == 0))
+        break;
+    }
+    HandleAssign(lhs.Key(), eq + 1, re, t[eq].text != "=", t[eq].line);
+    if (deref && lhs.comps.size() == 1 &&
+        LookupParam(fn, lhs.comps[0]) != nullptr &&
+        ExprTainted(eq + 1, re)) {
+      summary.taints_outparam = true;
+    }
+  }
+
+  void HandleAssign(const std::string& lhs_key, size_t rb, size_t re,
+                    bool compound, size_t /*line*/) {
+    bool rhs_tainted = ExprTainted(rb, re);
+    bool clamped = RhsClamped(rb, re);
+    if (rhs_tainted && !clamped) {
+      tainted.insert(lhs_key);
+    } else if (!compound) {
+      tainted.erase(lhs_key);
+    }
+  }
+
+  /// `std::min(...)` or a compare-guarded ternary on the RHS bounds the
+  /// result.
+  bool RhsClamped(size_t rb, size_t re) const {
+    const std::vector<Token>& t = file.tokens;
+    bool has_cmp = false, has_ternary = false;
+    for (size_t i = rb; i < re; ++i) {
+      if (IsComparisonOp(t[i].text)) has_cmp = true;
+      if (t[i].text == "?") has_ternary = true;
+      if (StartsChain(t, i, rb)) {
+        Chain c = ReadChain(t, i, re);
+        if (c.LastUnqualified() == "min" && c.end < re) {
+          // Allow explicit template args: std::min<uint64_t>(a, b).
+          size_t open = c.end;
+          if (t[open].text == "<") {
+            size_t past = TrySkipAngles(t, open, re);
+            open = past == std::string::npos ? re : past;
+          }
+          if (open < re && t[open].text == "(") return true;
+        }
+        i = c.end - 1;
+      }
+    }
+    return has_cmp && has_ternary;
+  }
+};
+
+std::vector<AnalyzeFinding> TaintPassImpl(const RepoIndex& idx) {
+  // Annotated functions are untrusted in both senses; propagation then keeps
+  // the two directions separate (see TaintEngine).
+  std::set<std::string> untrusted_ret = idx.untrusted_functions;
+  std::set<std::string> untrusted_out = idx.untrusted_functions;
+  // Fixed-point summary propagation: a function that returns or writes
+  // tainted data becomes an untrusted source for its callers.
+  for (int iter = 0; iter < 5; ++iter) {
+    bool changed = false;
+    for (const FileIndex& file : idx.files) {
+      for (const FunctionInfo& fn : file.functions) {
+        if (!fn.is_definition) continue;
+        TaintEngine engine(idx, untrusted_ret, untrusted_out, file, fn,
+                           nullptr);
+        engine.Run();
+        bool added = false;
+        if (engine.summary.returns_taint &&
+            untrusted_ret.insert(fn.name).second)
+          added = true;
+        if (engine.summary.taints_outparam &&
+            untrusted_out.insert(fn.name).second)
+          added = true;
+        if (added) {
+          if (std::getenv("WICAN_DEBUG_PROPAGATION") != nullptr) {
+            std::fprintf(stderr, "prop[%d]: %s (%s:%zu) ret=%d out=%d\n",
+                         iter, fn.qualified_name.c_str(), file.path.c_str(),
+                         fn.line, engine.summary.returns_taint ? 1 : 0,
+                         engine.summary.taints_outparam ? 1 : 0);
+          }
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  std::vector<AnalyzeFinding> findings;
+  for (const FileIndex& file : idx.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.is_definition) continue;
+      TaintEngine engine(idx, untrusted_ret, untrusted_out, file, fn,
+                         &findings);
+      engine.Run();
+    }
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Lock pass
+// ---------------------------------------------------------------------------
+
+struct LockKey {
+  std::string key;
+  bool usable = false;  // false: unresolvable (e.g. mutex via parameter)
+};
+
+struct HeldLock {
+  std::string key;
+  int depth = 0;
+  size_t line = 0;
+};
+
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  size_t line = 0;
+};
+
+struct CallSite {
+  std::string callee;
+  std::string receiver_class;
+  std::vector<std::string> held;
+  size_t line = 0;
+};
+
+struct LockFacts {
+  std::set<std::string> acquires;  // keys acquired anywhere inside
+  std::vector<CallSite> calls;
+  std::vector<LockEdge> edges;  // direct nested acquisitions
+  std::vector<AnalyzeFinding> self_findings;
+  std::vector<AnalyzeFinding> guard_findings;
+};
+
+struct LockEngine {
+  const RepoIndex& idx;
+  const FileIndex& file;
+  const FunctionInfo& fn;
+  FnContext ctx;
+  LockFacts facts;
+
+  // WC_REQUIRES / WC_NO_THREAD_SAFETY_ANALYSIS usually live on the in-class
+  // declaration while the body is an out-of-class definition; merge the
+  // annotations from every same-class declaration of this function.
+  std::vector<std::string> effective_requires;
+  bool effective_no_analysis = false;
+
+  LockEngine(const RepoIndex& i, const FileIndex& f, const FunctionInfo& func)
+      : idx(i), file(f), fn(func) {
+    ctx.file = &f;
+    ctx.fn = &func;
+    CollectLocalDecls(f.tokens, func.body_begin, func.body_end, &ctx);
+    effective_requires = func.requires_locks;
+    effective_no_analysis = func.no_analysis;
+    auto it = idx.functions_by_name.find(func.name);
+    if (it != idx.functions_by_name.end()) {
+      for (RepoIndex::FunctionRef ref : it->second) {
+        const FunctionInfo& other = idx.function_at(ref);
+        if (other.class_name != func.class_name) continue;
+        effective_requires.insert(effective_requires.end(),
+                                  other.requires_locks.begin(),
+                                  other.requires_locks.end());
+        effective_no_analysis = effective_no_analysis || other.no_analysis;
+      }
+    }
+  }
+
+  bool IsCtorOrDtor() const {
+    return !fn.class_name.empty() &&
+           (fn.name == fn.class_name || fn.name == "~" + fn.class_name);
+  }
+
+  LockKey ResolveLockArg(size_t b, size_t e) {
+    const std::vector<Token>& t = file.tokens;
+    size_t i = b;
+    while (i < e && (t[i].text == "&" || t[i].text == "(")) ++i;
+    if (i >= e || !IsIdent(t[i])) return LockKey{};
+    Chain c = ReadChain(t, i, e);
+    if (c.end < e && t[c.end].text == "(") {
+      // A function returning the mutex, e.g. OutputMutex(). One global key
+      // per function name.
+      return LockKey{c.Key() + "()", true};
+    }
+    return ResolveMutexChain(c);
+  }
+
+  LockKey ResolveMutexChain(const Chain& c) {
+    const FieldInfo* f = ResolveField(idx, ctx, c.comps);
+    if (f != nullptr) return LockKey{f->class_name + "::" + f->name, true};
+    if (c.comps.size() == 1 &&
+        LookupParam(fn, c.comps[0]) != nullptr) {
+      // Mutex via parameter: identity unknown at this site — skip rather
+      // than fabricate edges (the caller's view has the real key).
+      return LockKey{};
+    }
+    if (ctx.locals.count(c.comps[0]) != 0 &&
+        ResolveField(idx, ctx, c.comps) == nullptr &&
+        c.comps.size() >= 2) {
+      // Local aggregate whose type we could not resolve: keep a raw,
+      // function-local key so lexical held-checks still work.
+      return LockKey{fn.qualified_name + "/" + c.Key(), true};
+    }
+    if (c.comps.size() == 1 && ctx.locals.count(c.comps[0]) != 0) {
+      return LockKey{fn.qualified_name + "/" + c.Key(), true};
+    }
+    return LockKey{};
+  }
+
+  void Run() {
+    const std::vector<Token>& t = file.tokens;
+    const size_t b = fn.body_begin, e = fn.body_end;
+    std::vector<HeldLock> held;
+    int depth = 0;
+
+    std::set<std::string> entry_held;
+    for (const std::string& req : effective_requires) {
+      // Requires expressions are raw chain text like "mu_" or "state.mu".
+      TokenizedFile tf = Tokenize(req);
+      if (tf.tokens.empty() || !IsIdent(tf.tokens[0])) continue;
+      // Re-resolve in this function's context via a chain over the parsed
+      // components.
+      Chain c;
+      c.comps.push_back(tf.tokens[0].text);
+      for (size_t k = 1; k + 1 < tf.tokens.size(); k += 2) {
+        if ((tf.tokens[k].text == "." || tf.tokens[k].text == "->") &&
+            IsIdent(tf.tokens[k + 1]))
+          c.comps.push_back(tf.tokens[k + 1].text);
+      }
+      LockKey key = ResolveMutexChain(c);
+      if (key.usable) entry_held.insert(key.key);
+    }
+
+    auto held_keys = [&]() {
+      std::vector<std::string> keys(entry_held.begin(), entry_held.end());
+      for (const HeldLock& h : held) keys.push_back(h.key);
+      return keys;
+    };
+    auto is_held = [&](const std::string& key) {
+      if (entry_held.count(key) != 0) return true;
+      for (const HeldLock& h : held) {
+        if (h.key == key) return true;
+      }
+      return false;
+    };
+    auto acquire = [&](const LockKey& key, size_t line) {
+      if (!key.usable) return;
+      if (is_held(key.key)) {
+        facts.self_findings.push_back(AnalyzeFinding{
+            file.path, line, "lock-order",
+            "self-deadlock: '" + key.key + "' acquired while already held"});
+      }
+      for (const std::string& h : held_keys()) {
+        if (h != key.key)
+          facts.edges.push_back(LockEdge{h, key.key, file.path, line});
+      }
+      facts.acquires.insert(key.key);
+      held.push_back(HeldLock{key.key, depth, line});
+    };
+
+    for (size_t i = b; i < e; ++i) {
+      const std::string& x = t[i].text;
+      if (x == "{") {
+        ++depth;
+        continue;
+      }
+      if (x == "}") {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        continue;
+      }
+      auto decl_it = ctx.decl_at.find(i);
+      if (decl_it != ctx.decl_at.end()) {
+        const LocalDecl& d = ctx.locals.at(decl_it->second);
+        if (IsLockType(d.type_head) && d.init_end > d.init_begin) {
+          acquire(ResolveLockArg(d.init_begin, d.init_end), t[i].line);
+        }
+        continue;
+      }
+      if (!StartsChain(t, i, b)) continue;
+      Chain c = ReadChain(t, i, e);
+      bool is_call = c.end < e && t[c.end].text == "(";
+
+      // Guarded-field access check (reads and writes look the same here).
+      if (!effective_no_analysis && !IsCtorOrDtor()) {
+        std::vector<std::string> field_comps = c.comps;
+        if (is_call && field_comps.size() > 1) field_comps.pop_back();
+        if (!is_call || field_comps.size() < c.comps.size()) {
+          // Check every aggregate prefix: `state.pending.begin` must check
+          // `state.pending` itself.
+          for (size_t plen = 1; plen <= field_comps.size(); ++plen) {
+            std::vector<std::string> prefix(field_comps.begin(),
+                                            field_comps.begin() + plen);
+            const FieldInfo* f = ResolveField(idx, ctx, prefix);
+            if (f == nullptr || f->guarded_by.empty()) continue;
+            std::string need = f->class_name + "::" + f->guarded_by;
+            // Guard expressions naming a sibling field: re-key via the same
+            // owner chain (`state.pending` guarded_by mu -> `state.mu`).
+            if (!is_held(need)) {
+              bool ok = false;
+              if (plen >= 2) {
+                std::vector<std::string> owner(prefix.begin(),
+                                               prefix.end() - 1);
+                owner.push_back(f->guarded_by);
+                Chain oc;
+                oc.comps = owner;
+                LockKey alt = ResolveMutexChain(oc);
+                ok = alt.usable && is_held(alt.key);
+              }
+              if (!ok) {
+                facts.guard_findings.push_back(AnalyzeFinding{
+                    file.path, t[i].line, "unguarded-access",
+                    "'" + f->class_name + "::" + f->name +
+                        "' (guarded by " + f->guarded_by +
+                        ") accessed without holding the lock"});
+              }
+            }
+            break;  // only report the innermost guarded prefix once
+          }
+        }
+      }
+
+      if (is_call) {
+        const std::string callee = c.LastUnqualified();
+        if (callee == "Lock" && c.comps.size() >= 2) {
+          Chain recv;
+          recv.comps.assign(c.comps.begin(), c.comps.end() - 1);
+          acquire(ResolveMutexChain(recv), t[i].line);
+        } else if (callee == "Unlock" && c.comps.size() >= 2) {
+          Chain recv;
+          recv.comps.assign(c.comps.begin(), c.comps.end() - 1);
+          LockKey key = ResolveMutexChain(recv);
+          if (key.usable) {
+            for (size_t h = held.size(); h-- > 0;) {
+              if (held[h].key == key.key) {
+                held.erase(held.begin() + h);
+                break;
+              }
+            }
+          }
+        } else {
+          std::vector<std::string> recv(c.comps.begin(), c.comps.end() - 1);
+          std::string recv_class = recv.empty()
+                                       ? ""
+                                       : ResolveChainType(idx, ctx, recv);
+          if (recv.empty() || !recv_class.empty()) {
+            std::vector<std::string> hk = held_keys();
+            if (!hk.empty()) {
+              facts.calls.push_back(
+                  CallSite{callee, recv_class, hk, t[i].line});
+            }
+          }
+        }
+        i = c.end - 1;
+        continue;
+      }
+      i = c.end - 1;
+    }
+  }
+};
+
+std::vector<AnalyzeFinding> LockPassImpl(const RepoIndex& idx) {
+  std::vector<AnalyzeFinding> findings;
+  // Per-definition facts.
+  std::map<const FunctionInfo*, LockFacts> facts;
+  for (const FileIndex& file : idx.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.is_definition) continue;
+      LockEngine engine(idx, file, fn);
+      engine.Run();
+      facts[&fn] = std::move(engine.facts);
+    }
+  }
+
+  // Transitive closure of acquire sets across resolved calls.
+  std::map<std::string, std::set<std::string>> closure;  // qualified -> keys
+  for (const auto& [fn, f] : facts) {
+    auto& slot = closure[fn->qualified_name];
+    slot.insert(f.acquires.begin(), f.acquires.end());
+  }
+  for (int iter = 0; iter < 10; ++iter) {
+    bool changed = false;
+    for (const auto& [fn, f] : facts) {
+      auto& slot = closure[fn->qualified_name];
+      for (const CallSite& call : f.calls) {
+        for (const FunctionInfo* target : FindFunctionDefs(
+                 idx, call.callee, call.receiver_class, fn->class_name)) {
+          auto it = closure.find(target->qualified_name);
+          if (it == closure.end()) continue;
+          for (const std::string& k : it->second) {
+            changed = slot.insert(k).second || changed;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Edges: direct nested acquisitions plus held-at-call x callee closure.
+  std::vector<LockEdge> edges;
+  for (const auto& [fn, f] : facts) {
+    findings.insert(findings.end(), f.self_findings.begin(),
+                    f.self_findings.end());
+    findings.insert(findings.end(), f.guard_findings.begin(),
+                    f.guard_findings.end());
+    edges.insert(edges.end(), f.edges.begin(), f.edges.end());
+    for (const CallSite& call : f.calls) {
+      for (const FunctionInfo* target : FindFunctionDefs(
+               idx, call.callee, call.receiver_class, fn->class_name)) {
+        auto it = closure.find(target->qualified_name);
+        if (it == closure.end()) continue;
+        for (const std::string& held : call.held) {
+          for (const std::string& acq : it->second) {
+            if (held == acq) {
+              findings.push_back(AnalyzeFinding{
+                  fn->file, call.line, "lock-order",
+                  "self-deadlock: call to " + call.callee +
+                      "() re-acquires held lock '" + held + "'"});
+            } else {
+              edges.push_back(
+                  LockEdge{held, acq, fn->file, call.line});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the edge graph.
+  std::map<std::string, std::map<std::string, const LockEdge*>> graph;
+  for (const LockEdge& e : edges) {
+    auto& slot = graph[e.from];
+    if (slot.count(e.to) == 0) slot[e.to] = &e;
+  }
+  std::set<std::string> reported;  // canonical cycle signatures
+  for (const auto& [start, _] : graph) {
+    std::vector<std::string> path{start};
+    std::set<std::string> on_path{start};
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          auto it = graph.find(node);
+          if (it == graph.end()) return;
+          for (const auto& [next, edge] : it->second) {
+            if (next == start && path.size() >= 2) {
+              // Canonicalize: rotate so the smallest key leads.
+              std::vector<std::string> cyc = path;
+              auto min_it = std::min_element(cyc.begin(), cyc.end());
+              std::rotate(cyc.begin(), min_it, cyc.end());
+              std::string sig;
+              for (const std::string& k : cyc) sig += k + ";";
+              if (reported.insert(sig).second) {
+                std::string desc;
+                for (const std::string& k : cyc) desc += k + " -> ";
+                desc += cyc.front();
+                findings.push_back(AnalyzeFinding{
+                    edge->file, edge->line, "lock-order",
+                    "lock-order cycle: " + desc});
+              }
+              continue;
+            }
+            if (on_path.count(next) != 0) continue;
+            if (path.size() > 8) continue;
+            path.push_back(next);
+            on_path.insert(next);
+            dfs(next);
+            on_path.erase(next);
+            path.pop_back();
+          }
+        };
+    dfs(start);
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime pass
+// ---------------------------------------------------------------------------
+
+enum class Backing { kNone, kMember, kParam, kLocal };
+
+Backing WorseBacking(Backing a, Backing b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+const char* BackingName(Backing b) {
+  switch (b) {
+    case Backing::kMember:
+      return "receiver-owned memory";
+    case Backing::kParam:
+      return "caller-owned memory";
+    case Backing::kLocal:
+      return "function-local memory";
+    default:
+      return "unknown memory";
+  }
+}
+
+struct LifetimeEngine {
+  const RepoIndex& idx;
+  const FileIndex& file;
+  const FunctionInfo& fn;
+  FnContext ctx;
+  std::map<std::string, Backing> borrowed;  // view chain key -> backing
+  std::map<std::string, Backing> holders;   // reader-object local -> backing
+  std::vector<AnalyzeFinding>* findings;
+
+  LifetimeEngine(const RepoIndex& i, const FileIndex& f,
+                 const FunctionInfo& func, std::vector<AnalyzeFinding>* out)
+      : idx(i), file(f), fn(func), findings(out) {
+    ctx.file = &f;
+    ctx.fn = &func;
+    CollectLocalDecls(f.tokens, func.body_begin, func.body_end, &ctx);
+    for (const ParamInfo& p : func.params) {
+      if (IsViewType(p.type_head) && !p.name.empty())
+        borrowed[p.name] = Backing::kParam;
+    }
+  }
+
+  void Report(size_t line, const std::string& message) {
+    if (findings != nullptr) {
+      findings->push_back(
+          AnalyzeFinding{file.path, line, "view-escape", message});
+    }
+  }
+
+  /// Lifetime category of the object a chain is rooted in.
+  Backing BaseBacking(const std::vector<std::string>& comps) const {
+    if (comps.empty()) return Backing::kNone;
+    const std::string& head = comps[0];
+    if (head == "this") return Backing::kMember;
+    auto h = holders.find(head);
+    if (h != holders.end()) return h->second;
+    auto bv = borrowed.find(head);
+    if (bv != borrowed.end()) return bv->second;
+    if (ctx.locals.count(head) != 0) return Backing::kLocal;
+    if (LookupParam(fn, head) != nullptr) return Backing::kParam;
+    if (LookupField(idx, ctx.fn->class_name, head) != nullptr)
+      return Backing::kMember;
+    return Backing::kNone;
+  }
+
+  /// The lifetime backing of a view-producing expression in [b, e):
+  /// borrowed-view calls inherit their receiver's backing, known view chains
+  /// their recorded backing, owned-container chains the container's base.
+  Backing ExprBacking(size_t b, size_t e) const {
+    const std::vector<Token>& t = file.tokens;
+    Backing worst = Backing::kNone;
+    for (size_t i = b; i < e; ++i) {
+      if (!StartsChain(t, i, b)) continue;
+      Chain c = ReadChain(t, i, e);
+      bool is_call = c.end < e && t[c.end].text == "(";
+      Backing bk = Backing::kNone;
+      if (is_call &&
+          idx.borrowed_view_functions.count(c.LastUnqualified()) != 0) {
+        if (c.comps.size() >= 2) {
+          std::vector<std::string> recv(c.comps.begin(), c.comps.end() - 1);
+          bk = BaseBacking(recv);
+        } else {
+          // Free function: the first view/owner argument is the source.
+          size_t close = SkipBalanced(t, c.end, "(", ")", e);
+          for (size_t k = c.end + 1; k < close - 1; ++k) {
+            if (!StartsChain(t, k, c.end + 1)) continue;
+            Chain arg = ReadChain(t, k, close - 1);
+            Backing ab = ChainViewBacking(arg);
+            if (ab != Backing::kNone) {
+              bk = ab;
+              break;
+            }
+            k = arg.end - 1;
+          }
+        }
+      } else if (!is_call) {
+        bk = ChainViewBacking(c);
+      } else if (is_call && c.comps.size() >= 2) {
+        // substr()/first()/subspan() etc. on a borrowed chain keep its
+        // backing.
+        std::vector<std::string> recv(c.comps.begin(), c.comps.end() - 1);
+        Chain rc;
+        rc.comps = recv;
+        Backing rb = ChainViewBacking(rc);
+        if (rb != Backing::kNone &&
+            (c.LastUnqualified() == "substr" ||
+             c.LastUnqualified() == "subspan" ||
+             c.LastUnqualified() == "first" || c.LastUnqualified() == "last"))
+          bk = rb;
+      }
+      worst = WorseBacking(worst, bk);
+      i = c.end - 1;
+    }
+    return worst;
+  }
+
+  /// Backing for a chain when it denotes view-ish or owned storage; kNone
+  /// for unrelated values (ints, bools, unresolved globals).
+  Backing ChainViewBacking(const Chain& c) const {
+    auto it = borrowed.find(c.Key());
+    if (it != borrowed.end()) return it->second;
+    // Prefix of a known borrowed aggregate? (rare; skip)
+    const std::string& head = c.comps[0];
+    if (c.comps.size() == 1) {
+      auto lit = ctx.locals.find(head);
+      if (lit != ctx.locals.end())
+        return IsOwningContainer(lit->second.type_head) ? Backing::kLocal
+                                                        : Backing::kNone;
+      const ParamInfo* p = LookupParam(fn, head);
+      if (p != nullptr)
+        return IsOwningContainer(p->type_head) || IsViewType(p->type_head)
+                   ? Backing::kParam
+                   : Backing::kNone;
+      const FieldInfo* f = LookupField(idx, ctx.fn->class_name, head);
+      if (f != nullptr &&
+          (IsViewType(f->type_head) || IsOwningContainer(f->type_head)))
+        return Backing::kMember;
+      return Backing::kNone;
+    }
+    const FieldInfo* f = ResolveField(idx, ctx, c.comps);
+    if (f != nullptr &&
+        (IsViewType(f->type_head) || IsOwningContainer(f->type_head)))
+      return BaseBacking(c.comps);
+    return Backing::kNone;
+  }
+
+  bool ReturnsView() const {
+    // Whole-token match: "Result < std::vector < RealizationSpan > >" must
+    // not count as a view return just because "Span" appears as a substring.
+    std::istringstream in(fn.return_type);
+    std::string tok;
+    while (in >> tok) {
+      if (tok == "string_view" || tok == "Span" || tok == "span") return true;
+      size_t sep = tok.rfind("::");
+      if (sep != std::string::npos) {
+        std::string last = tok.substr(sep + 2);
+        if (last == "string_view" || last == "Span" || last == "span")
+          return true;
+      }
+    }
+    return false;
+  }
+
+  void Run() {
+    const std::vector<Token>& t = file.tokens;
+    const size_t b = fn.body_begin, e = fn.body_end;
+    for (size_t i = b; i < e; ++i) {
+      const std::string& x = t[i].text;
+
+      auto decl_it = ctx.decl_at.find(i);
+      if (decl_it != ctx.decl_at.end()) {
+        const LocalDecl& d = ctx.locals.at(decl_it->second);
+        if (d.init_end > d.init_begin) {
+          Backing bk = ExprBacking(d.init_begin, d.init_end);
+          if (IsViewType(d.type_head)) {
+            if (bk != Backing::kNone) borrowed[decl_it->second] = bk;
+          } else if (d.is_ctor_call && bk != Backing::kNone &&
+                     !IsOwningContainer(d.type_head) &&
+                     !IsLockType(d.type_head)) {
+            // Reader-style object constructed over a view: views it later
+            // produces alias the same backing.
+            holders[decl_it->second] = bk;
+          }
+        }
+        continue;
+      }
+
+      if (x == "return" && IsIdent(t[i]) && ReturnsView()) {
+        size_t j = i + 1;
+        int depth = 0;
+        for (; j < e; ++j) {
+          const std::string& y = t[j].text;
+          if (y == "(" || y == "[" || y == "{") ++depth;
+          if (y == ")" || y == "]" || y == "}") --depth;
+          if (y == ";" && depth <= 0) break;
+        }
+        if (ExprBacking(i + 1, j) == Backing::kLocal) {
+          Report(t[i].line,
+                 "view aliasing function-local memory returned to caller");
+        }
+        continue;
+      }
+
+      if (x == "=" && !IsIdent(t[i])) {
+        HandleAssignAt(i);
+        continue;
+      }
+
+      if (!StartsChain(t, i, b)) continue;
+      Chain c = ReadChain(t, i, e);
+      bool is_call = c.end < e && t[c.end].text == "(";
+      if (is_call) {
+        size_t close = SkipBalanced(t, c.end, "(", ")", e);
+        const std::string callee = c.LastUnqualified();
+        if (idx.borrowed_view_functions.count(callee) != 0) {
+          // Out-params of a borrowed-view call inherit the owner's backing.
+          Backing owner = Backing::kNone;
+          if (c.comps.size() >= 2) {
+            std::vector<std::string> recv(c.comps.begin(), c.comps.end() - 1);
+            owner = BaseBacking(recv);
+          } else {
+            for (size_t k = c.end + 1; k < close - 1; ++k) {
+              if (!StartsChain(t, k, c.end + 1)) continue;
+              Chain arg = ReadChain(t, k, close - 1);
+              Backing ab = ChainViewBacking(arg);
+              if (ab != Backing::kNone) {
+                owner = ab;
+                break;
+              }
+              k = arg.end - 1;
+            }
+          }
+          if (owner != Backing::kNone) {
+            int depth = 0;
+            for (size_t k = c.end + 1; k + 1 < close; ++k) {
+              const std::string& y = t[k].text;
+              if (y == "(" || y == "[" || y == "{") ++depth;
+              if (y == ")" || y == "]" || y == "}") --depth;
+              if (depth != 0 || y != "&") continue;
+              bool arg_start =
+                  t[k - 1].text == "(" || t[k - 1].text == ",";
+              if (arg_start && k + 1 < close && IsIdent(t[k + 1])) {
+                Chain out = ReadChain(t, k + 1, close);
+                borrowed[out.Key()] = owner;
+              }
+            }
+          }
+        }
+        if (IsDeferredCallee(callee)) {
+          // A lambda inside the argument list: any borrowed view it names
+          // may dangle by the time the deferred work runs.
+          for (size_t k = c.end + 1; k < close; ++k) {
+            if (t[k].text != "[") continue;
+            size_t lam_end = FindLambdaEnd(k, close);
+            for (const auto& [key, backing] : borrowed) {
+              if (backing == Backing::kNone) continue;
+              if (ChainOccursIn(k, lam_end, key)) {
+                Report(t[i].line,
+                       "view '" + key + "' aliasing " +
+                           std::string(BackingName(backing)) +
+                           " captured by deferred work (" + callee + ")");
+              }
+            }
+            k = lam_end - 1;
+          }
+        }
+        i = c.end - 1;
+        continue;
+      }
+      i = c.end - 1;
+    }
+  }
+
+  /// k points at the '[' of a lambda introducer; returns one past the
+  /// closing '}' of its body (or `limit`).
+  size_t FindLambdaEnd(size_t k, size_t limit) const {
+    const std::vector<Token>& t = file.tokens;
+    size_t j = SkipBalanced(t, k, "[", "]", limit);
+    if (j < limit && t[j].text == "(") j = SkipBalanced(t, j, "(", ")", limit);
+    while (j < limit && t[j].text != "{" && t[j].text != "," &&
+           t[j].text != ")")
+      ++j;
+    if (j < limit && t[j].text == "{")
+      return SkipBalanced(t, j, "{", "}", limit);
+    return j;
+  }
+
+  bool ChainOccursIn(size_t b, size_t e, const std::string& key) const {
+    const std::vector<Token>& t = file.tokens;
+    for (size_t i = b; i < e; ++i) {
+      if (!StartsChain(t, i, b)) continue;
+      Chain c = ReadChain(t, i, e);
+      if (c.Key() == key) return true;
+      i = c.end - 1;
+    }
+    return false;
+  }
+
+  void HandleAssignAt(size_t eq) {
+    const std::vector<Token>& t = file.tokens;
+    const size_t b = fn.body_begin, e = fn.body_end;
+    if (eq == b || !IsIdent(t[eq - 1])) return;
+    size_t s = eq - 1;
+    while (s > b && (t[s - 1].text == "." || t[s - 1].text == "->" ||
+                     t[s - 1].text == "::")) {
+      if (s >= 2 && IsIdent(t[s - 2]))
+        s -= 2;
+      else
+        break;
+    }
+    bool deref = s > b && t[s - 1].text == "*";
+    Chain lhs = ReadChain(t, s, eq);
+    size_t re = eq + 1;
+    int depth = 0;
+    for (; re < e; ++re) {
+      const std::string& y = t[re].text;
+      if (y == "(" || y == "[" || y == "{") ++depth;
+      if (y == ")" || y == "]" || y == "}") --depth;
+      if (depth < 0 || (y == ";" && depth == 0)) break;
+    }
+    Backing bk = ExprBacking(eq + 1, re);
+
+    // Out-param write: `*out = view-of-local`.
+    if (deref && lhs.comps.size() == 1) {
+      const ParamInfo* p = LookupParam(fn, lhs.comps[0]);
+      if (p != nullptr && IsViewType(p->type_head) &&
+          bk == Backing::kLocal) {
+        Report(t[eq].line,
+               "view aliasing function-local memory written through "
+               "out-parameter '" +
+                   lhs.comps[0] + "'");
+        return;
+      }
+    }
+
+    // Member store: `view_member_ = short-lived view`.
+    bool bare_member =
+        !deref && (lhs.comps[0] == "this" ||
+                   (ctx.locals.count(lhs.comps[0]) == 0 &&
+                    LookupParam(fn, lhs.comps[0]) == nullptr));
+    if (bare_member) {
+      std::vector<std::string> comps = lhs.comps;
+      if (comps[0] == "this") comps.erase(comps.begin());
+      if (!comps.empty()) {
+        const FieldInfo* f = ResolveField(idx, ctx, comps);
+        if (f != nullptr && IsViewType(f->type_head) &&
+            bk == Backing::kLocal) {
+          Report(t[eq].line, "view aliasing function-local memory stored in "
+                             "member '" +
+                                 f->class_name + "::" + f->name + "'");
+          return;
+        }
+      }
+    }
+
+    // Track reassignment of view locals.
+    if (!deref && lhs.comps.size() == 1 && borrowed.count(lhs.Key()) != 0) {
+      if (bk != Backing::kNone)
+        borrowed[lhs.Key()] = bk;
+      else
+        borrowed.erase(lhs.Key());
+    }
+  }
+};
+
+std::vector<AnalyzeFinding> LifetimePassImpl(const RepoIndex& idx) {
+  std::vector<AnalyzeFinding> findings;
+  for (const FileIndex& file : idx.files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (!fn.is_definition) continue;
+      LifetimeEngine engine(idx, file, fn, &findings);
+      engine.Run();
+    }
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions / driver
+// ---------------------------------------------------------------------------
+
+bool KnownRule(const std::string& rule) {
+  return rule == "tainted-size" || rule == "lock-order" ||
+         rule == "unguarded-access" || rule == "view-escape" ||
+         rule == "bad-suppression";
+}
+
+void SortAndDedupe(std::vector<AnalyzeFinding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const AnalyzeFinding& a, const AnalyzeFinding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  findings->erase(
+      std::unique(findings->begin(), findings->end(),
+                  [](const AnalyzeFinding& a, const AnalyzeFinding& b) {
+                    return a.path == b.path && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      findings->end());
+}
+
+}  // namespace
+
+std::string AnalyzeFinding::ToString() const {
+  std::ostringstream os;
+  os << path << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+std::vector<AnalyzeFinding> RunTaintPass(const RepoIndex& index) {
+  std::vector<AnalyzeFinding> f = TaintPassImpl(index);
+  SortAndDedupe(&f);
+  return f;
+}
+
+std::vector<AnalyzeFinding> RunLockPass(const RepoIndex& index) {
+  std::vector<AnalyzeFinding> f = LockPassImpl(index);
+  SortAndDedupe(&f);
+  return f;
+}
+
+std::vector<AnalyzeFinding> RunLifetimePass(const RepoIndex& index) {
+  std::vector<AnalyzeFinding> f = LifetimePassImpl(index);
+  SortAndDedupe(&f);
+  return f;
+}
+
+std::vector<AnalyzeFinding> RunAllPasses(const RepoIndex& index) {
+  std::vector<AnalyzeFinding> all = TaintPassImpl(index);
+  {
+    std::vector<AnalyzeFinding> f = LockPassImpl(index);
+    all.insert(all.end(), f.begin(), f.end());
+    f = LifetimePassImpl(index);
+    all.insert(all.end(), f.begin(), f.end());
+  }
+
+  // Apply suppressions: `// wican:allow(<rule>)` on the finding's line or
+  // the line directly above it.
+  std::map<std::string, const FileIndex*> by_path;
+  for (const FileIndex& file : index.files) by_path[file.path] = &file;
+  std::vector<AnalyzeFinding> kept;
+  for (AnalyzeFinding& f : all) {
+    bool suppressed = false;
+    auto it = by_path.find(f.path);
+    if (it != by_path.end()) {
+      for (const Suppression& s : it->second->suppressions) {
+        if (s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line)) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+
+  // Suppression hygiene: unknown rule names or missing justifications are
+  // findings themselves (and cannot be suppressed away).
+  for (const FileIndex& file : index.files) {
+    for (const Suppression& s : file.suppressions) {
+      if (!KnownRule(s.rule)) {
+        kept.push_back(AnalyzeFinding{
+            file.path, s.line, "bad-suppression",
+            "wican:allow names unknown rule '" + s.rule + "'"});
+      } else if (s.justification.size() < 10) {
+        kept.push_back(AnalyzeFinding{
+            file.path, s.line, "bad-suppression",
+            "wican:allow(" + s.rule +
+                ") needs a justification (>= 10 chars after the colon)"});
+      }
+    }
+  }
+  SortAndDedupe(&kept);
+  return kept;
+}
+
+}  // namespace analyze
+}  // namespace wiclean

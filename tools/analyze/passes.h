@@ -1,0 +1,54 @@
+#ifndef WICLEAN_TOOLS_ANALYZE_PASSES_H_
+#define WICLEAN_TOOLS_ANALYZE_PASSES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "index.h"
+
+namespace wiclean {
+namespace analyze {
+
+/// The three wican passes (see DESIGN.md "Checks"). All operate on the
+/// whole-repo RepoIndex, so dataflow crosses translation units: a function
+/// annotated WC_UNTRUSTED in src/log/action_log_codec.cc taints its callers
+/// in src/log/replay.cc, and a lock acquired in src/dump/pipeline.cc
+/// composes with one acquired inside src/common/bounded_queue.h.
+///
+/// Rules:
+///   tainted-size      untrusted decoded value reaches an allocation size,
+///                     resize/reserve argument, loop bound, array index, or
+///                     memcpy length without a bounds gate
+///   lock-order        lock-acquisition cycle or self-deadlock in the
+///                     cross-file MutexLock graph
+///   unguarded-access  WC_GUARDED_BY field accessed outside any scope that
+///                     holds its mutex
+///   view-escape       string_view/span aliasing short-lived memory stored
+///                     in a member, returned, written through an out-param,
+///                     or captured by deferred work
+///   bad-suppression   wican:allow comment with a missing/trivial
+///                     justification
+struct AnalyzeFinding {
+  std::string path;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+std::vector<AnalyzeFinding> RunTaintPass(const RepoIndex& index);
+std::vector<AnalyzeFinding> RunLockPass(const RepoIndex& index);
+std::vector<AnalyzeFinding> RunLifetimePass(const RepoIndex& index);
+
+/// Runs all passes, applies `// wican:allow(<rule>)` suppressions (same
+/// line or the line above; a justification of at least 10 characters is
+/// required, enforced via the bad-suppression rule), dedupes, and returns
+/// findings sorted by path/line/rule.
+std::vector<AnalyzeFinding> RunAllPasses(const RepoIndex& index);
+
+}  // namespace analyze
+}  // namespace wiclean
+
+#endif  // WICLEAN_TOOLS_ANALYZE_PASSES_H_

@@ -1,0 +1,27 @@
+// wican fixture (never compiled): half of a cross-file lock-order cycle.
+// This file takes Pair::a then Pair::b; lock_bad_cycle_b.cc takes them in
+// the opposite order. Neither file alone shows the cycle — only the merged
+// cross-translation-unit graph does. Expected: one lock-order cycle finding
+// (reported once for the deduplicated canonical cycle).
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Pair {
+  Mutex a;
+  Mutex b;
+  int hits;
+  void ForwardOrder();
+  void ReverseOrder();
+};
+
+void Pair::ForwardOrder() {
+  MutexLock la(&a);
+  MutexLock lb(&b);  // edge Pair::a -> Pair::b
+  hits = hits + 1;
+}

@@ -1,0 +1,15 @@
+// wican fixture (never compiled): the other half of the cross-file
+// lock-order cycle started in lock_bad_cycle_a.cc.
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+void Pair::ReverseOrder() {
+  MutexLock lb(&b);
+  MutexLock la(&a);  // edge Pair::b -> Pair::a — closes the cycle
+}

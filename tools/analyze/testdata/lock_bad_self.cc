@@ -1,0 +1,36 @@
+// wican fixture (never compiled): self-deadlocks — re-acquiring a mutex
+// already held, both directly and through a callee (which a per-TU analysis
+// with the callee defined elsewhere would miss). Expected: two lock-order
+// findings.
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Counter {
+  Mutex mu;
+  int value;
+  void DirectRelock();
+  void RelockThroughCallee();
+  void Bump();
+};
+
+void Counter::DirectRelock() {
+  MutexLock outer(&mu);
+  MutexLock inner(&mu);  // BAD: relock of Counter::mu
+  value = value + 1;
+}
+
+void Counter::Bump() {
+  MutexLock lock(&mu);
+  value = value + 1;
+}
+
+void Counter::RelockThroughCallee() {
+  MutexLock lock(&mu);
+  Bump();  // BAD: callee re-acquires Counter::mu
+}

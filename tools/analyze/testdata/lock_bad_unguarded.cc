@@ -1,0 +1,30 @@
+// wican fixture (never compiled): WC_GUARDED_BY fields accessed without the
+// guarding mutex held — a write with no lock at all, and an access after the
+// lock scope closed. Expected: two unguarded-access findings.
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Queue {
+  Mutex mu;
+  int depth WC_GUARDED_BY(mu);
+  void NoLockAtAll();
+  void LockScopeTooSmall();
+};
+
+void Queue::NoLockAtAll() {
+  depth = depth + 1;  // BAD: mu not held
+}
+
+void Queue::LockScopeTooSmall() {
+  {
+    MutexLock lock(&mu);
+    depth = 0;  // fine: mu held
+  }
+  depth = depth + 1;  // BAD: lock released at end of block
+}

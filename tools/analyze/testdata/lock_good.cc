@@ -1,0 +1,36 @@
+// wican fixture (never compiled): clean control for the lock pass —
+// consistent ordering, guarded access under the lock, WC_REQUIRES honored,
+// and a consistent two-mutex ordering across files. Expected: zero findings.
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Ledger {
+  Mutex mu;
+  Mutex io;
+  int balance WC_GUARDED_BY(mu);
+  void Deposit();
+  void DepositLocked() WC_REQUIRES(mu);
+  void Flush();
+};
+
+void Ledger::Deposit() {
+  MutexLock lock(&mu);
+  balance = balance + 1;  // fine: mu held
+  DepositLocked();        // fine: callee requires mu, and mu is held
+}
+
+void Ledger::DepositLocked() {
+  balance = balance + 2;  // fine: caller holds mu per WC_REQUIRES
+}
+
+void Ledger::Flush() {
+  MutexLock lock(&mu);
+  MutexLock out(&io);  // same mu -> io order everywhere: no cycle
+  balance = 0;
+}

@@ -1,0 +1,32 @@
+// wican fixture (never compiled): suppression hygiene violations — a
+// missing justification, a too-short justification, and an unknown rule
+// name. Expected: three bad-suppression findings (and the underlying
+// tainted-size findings stay suppressed: hygiene is reported instead of
+// silently un-suppressing).
+#include <cstdint>
+#include <vector>
+
+struct Status {};
+
+struct Reader {
+  Status ReadCount(uint64_t* v) WC_UNTRUSTED;
+};
+
+void MissingJustification(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  out->resize(count);  // wican:allow(tainted-size)
+}
+
+void TrivialJustification(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  out->resize(count);  // wican:allow(tainted-size): ok
+}
+
+void UnknownRule(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  if (count > 16) return;
+  out->resize(count);  // wican:allow(taint-size): rule name has a typo
+}

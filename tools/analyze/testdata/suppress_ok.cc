@@ -1,0 +1,23 @@
+// wican fixture (never compiled): a real finding silenced by a justified
+// suppression — same-line and line-above forms. Expected: zero findings.
+#include <cstdint>
+#include <vector>
+
+struct Status {};
+
+struct Reader {
+  Status ReadCount(uint64_t* v) WC_UNTRUSTED;
+};
+
+void SuppressedSameLine(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  out->resize(count);  // wican:allow(tainted-size): bound enforced by caller contract
+}
+
+void SuppressedLineAbove(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  // wican:allow(tainted-size): count <= 64 guaranteed by framing layer
+  out->resize(count);
+}

@@ -1,0 +1,32 @@
+// wican fixture (never compiled): sized container construction from an
+// untrusted count, plus taint entering through a WC_UNTRUSTED parameter and
+// an untrusted field. Expected: three tainted-size findings.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct Status {};
+
+struct Reader {
+  Status ReadCount(uint64_t* v) WC_UNTRUSTED;
+};
+
+struct Frame {
+  uint64_t declared_size WC_UNTRUSTED;  // parsed from the wire header
+};
+
+void DecodeBadConstruct(Reader& r) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  std::vector<int> slots(count);  // BAD: attacker-sized construction
+  (void)slots;
+}
+
+void DecodeBadParam(uint64_t wire_count WC_UNTRUSTED,
+                    std::vector<int>* out) {
+  out->resize(wire_count);  // BAD: untrusted parameter, no gate
+}
+
+void DecodeBadField(const Frame& frame, std::string* out) {
+  out->resize(frame.declared_size);  // BAD: untrusted field, no gate
+}

@@ -1,0 +1,29 @@
+// wican fixture (never compiled): untrusted decoded count used as a loop
+// bound without a prior gate. Expected: one tainted-size finding (the loop),
+// and the propagation case below where taint flows through a plain
+// assignment before reaching the loop.
+#include <cstdint>
+
+struct Status {};
+
+struct Reader {
+  Status ReadCount(uint64_t* v) WC_UNTRUSTED;
+};
+
+void DecodeBadLoop(Reader& r) {
+  uint64_t n = 0;
+  (void)r.ReadCount(&n);
+  for (uint64_t i = 0; i < n; ++i) {  // BAD: attacker-controlled trip count
+    (void)i;
+  }
+}
+
+void DecodeBadLoopViaCopy(Reader& r) {
+  uint64_t n = 0;
+  (void)r.ReadCount(&n);
+  uint64_t limit = n * 2;  // taint propagates through assignment
+  uint64_t i = 0;
+  while (i < limit) {  // BAD: still attacker-controlled
+    ++i;
+  }
+}

@@ -1,0 +1,22 @@
+// wican fixture (never compiled): untrusted decoded length used as a memcpy
+// size and as an array index. Expected: two tainted-size findings.
+#include <cstdint>
+#include <cstring>
+
+struct Status {};
+
+struct Reader {
+  Status ReadLen(uint64_t* v) WC_UNTRUSTED;
+};
+
+void DecodeBadMemcpy(Reader& r, char* dst, const char* src) {
+  uint64_t len = 0;
+  (void)r.ReadLen(&len);
+  memcpy(dst, src, len);  // BAD: attacker-sized copy
+}
+
+int DecodeBadIndex(Reader& r, const int* table) {
+  uint64_t slot = 0;
+  (void)r.ReadLen(&slot);
+  return table[slot];  // BAD: attacker-controlled index
+}

@@ -1,0 +1,22 @@
+// wican fixture (never compiled): untrusted decoded count drives resize()
+// and reserve() with no bounds gate. Expected: two tainted-size findings.
+#include <cstdint>
+#include <vector>
+
+struct Status {};
+
+struct Reader {
+  Status ReadCount(uint64_t* v) WC_UNTRUSTED;
+};
+
+void DecodeBadResize(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  out->resize(count);  // BAD: attacker-sized allocation
+}
+
+void DecodeBadReserve(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  out->reserve(count);  // BAD: attacker-sized allocation
+}

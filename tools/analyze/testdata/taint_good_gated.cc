@@ -1,0 +1,58 @@
+// wican fixture (never compiled): clean control for the taint pass — every
+// untrusted value passes a bounds gate before reaching a sink. Expected:
+// zero findings.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+struct Status {};
+
+struct Reader {
+  Status ReadCount(uint64_t* v) WC_UNTRUSTED;
+  size_t remaining() const;
+};
+
+Status TooBig();
+
+Status DecodeGatedIf(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  if (count > r.remaining()) return TooBig();  // gate: compare then bail
+  out->resize(count);
+  return Status{};
+}
+
+void DecodeGatedMin(Reader& r, std::vector<int>* out) {
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  uint64_t capped = std::min<uint64_t>(count, 4096);  // gate: clamp
+  out->resize(capped);
+}
+
+void DecodeGatedMacro(Reader& r, char* dst, const char* src) {
+  uint64_t len = 0;
+  (void)r.ReadCount(&len);
+  // The bound is established by a protocol invariant the analyzer cannot
+  // see; the annotation records that claim at the sink.
+  memcpy(dst, src, WC_BOUNDS_CHECKED(len));
+}
+
+void DecodeGatedLoop(Reader& r) {
+  uint64_t n = 0;
+  (void)r.ReadCount(&n);
+  if (n > 1024) n = 1024;  // gate: clamp before the loop
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)i;
+  }
+}
+
+void MetadataIsStructural(Reader& r, std::string* out) {
+  // Calling size()/data() on an untrusted-but-validated view is fine: the
+  // *contents* are untrusted, the extent is real.
+  uint64_t count = 0;
+  (void)r.ReadCount(&count);
+  std::string copy(out->data(), out->size());
+  (void)copy;
+}

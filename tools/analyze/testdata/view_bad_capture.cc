@@ -1,0 +1,21 @@
+// wican fixture (never compiled): a borrowed view captured by deferred work
+// — the thread-pool task may run after the view's backing store is gone.
+// Expected: one view-escape finding.
+#include <string>
+#include <string_view>
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F f);
+};
+
+struct Reader {
+  std::string_view Body() WC_BORROWED_VIEW;
+};
+
+void BadDeferredCapture(ThreadPool* pool, Reader reader) {
+  std::string_view body = reader.Body();
+  pool->Submit([body] {  // BAD: task may outlive reader's backing bytes
+    (void)body.size();
+  });
+}

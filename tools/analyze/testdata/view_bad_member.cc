@@ -1,0 +1,16 @@
+// wican fixture (never compiled): a string_view over function-local memory
+// stored into a member — the member dangles as soon as the function returns.
+// Expected: one view-escape finding.
+#include <string>
+#include <string_view>
+
+struct Cache {
+  std::string_view last_key;
+  void Remember();
+};
+
+void Cache::Remember() {
+  std::string scratch = "key";
+  std::string_view view = scratch;
+  last_key = view;  // BAD: member outlives `scratch`
+}

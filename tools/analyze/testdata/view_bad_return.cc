@@ -1,0 +1,17 @@
+// wican fixture (never compiled): views of function-local memory escaping
+// through the return value and through an out-parameter. Expected: two
+// view-escape findings.
+#include <string>
+#include <string_view>
+
+std::string_view BadReturn() {
+  std::string local = "temporary";
+  std::string_view view = local;
+  return view;  // BAD: view outlives `local`
+}
+
+void BadOutParam(std::string_view* out) {
+  std::string local = "temporary";
+  std::string_view view = local;
+  *out = view;  // BAD: caller receives a dangling view
+}

@@ -1,0 +1,35 @@
+// wican fixture (never compiled): clean control for the lifetime pass —
+// views used within the owner's scope, a view of member storage returned
+// from a method (the member outlives the call), and a deferred task that
+// copies instead of borrowing. Expected: zero findings.
+#include <string>
+#include <string_view>
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F f);
+};
+
+struct Holder {
+  std::string owned;
+  std::string_view View() WC_BORROWED_VIEW;
+  std::string_view OfMember();
+};
+
+std::string_view Holder::OfMember() {
+  std::string_view view = owned;
+  return view;  // fine: backing is the member, which outlives the call
+}
+
+size_t UseWithinScope() {
+  std::string local = "alive here";
+  std::string_view view = local;
+  return view.size();  // fine: no escape, local still alive
+}
+
+void GoodDeferredCopy(ThreadPool* pool, Holder* h) {
+  std::string copy(h->owned);
+  pool->Submit([copy] {  // fine: task owns its copy
+    (void)copy.size();
+  });
+}

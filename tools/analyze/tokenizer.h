@@ -1,0 +1,63 @@
+#ifndef WICLEAN_TOOLS_ANALYZE_TOKENIZER_H_
+#define WICLEAN_TOOLS_ANALYZE_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wiclean {
+namespace analyze {
+
+/// Lightweight C++ tokenizer — the front end of the `wican` analyzer
+/// (tools/analyze/wican_main.cc). It works on raw, unpreprocessed source:
+/// macros are seen by name (which is exactly how the WC_* annotation
+/// contract in src/common/annotations.h is consumed), includes are not
+/// followed (cross-file knowledge comes from indexing every file, see
+/// index.h), and line splices (backslash-newline) are resolved while keeping
+/// physical line numbers, so multi-line preprocessor definitions tokenize as
+/// one logical line.
+///
+/// Handled beyond the obvious: // and /* */ comments (captured separately
+/// for wican:allow suppressions), string/char literals with escapes, raw
+/// string literals R"delim(...)delim" (any prefix), digit separators
+/// (1'000'000), and maximal-munch punctuation ("::", "->", "<=>", ...).
+/// ">>" tokenizes as one punctuator; angle-bracket balancing in the indexer
+/// treats it as two closers, which is how nested template argument lists
+/// ("vector<vector<int>>") stay balanced.
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (no keyword table; passes match text)
+  kNumber,  // integer / floating literal, including suffixes
+  kString,  // string literal; text is the *contents* (no quotes, no prefix)
+  kChar,    // character literal; text is the contents
+  kPunct,   // operator / punctuator, maximal munch
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  size_t line = 0;            // 1-based physical line of the first character
+  bool in_directive = false;  // inside a preprocessor directive
+};
+
+/// One comment, with the leading // or /* */ markers stripped.
+struct Comment {
+  size_t line = 0;  // 1-based line the comment starts on
+  std::string text;
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes one file's contents. Never fails: malformed input (unterminated
+/// literals, stray bytes) degrades to best-effort tokens, which is the right
+/// behavior for an analyzer that must keep going.
+TokenizedFile Tokenize(std::string_view content);
+
+}  // namespace analyze
+}  // namespace wiclean
+
+#endif  // WICLEAN_TOOLS_ANALYZE_TOKENIZER_H_

@@ -1,0 +1,112 @@
+// wican: whole-repo cross-translation-unit static analyzer. Usage:
+//
+//   wican <repo-root>          run all passes, print findings, exit 1 if any
+//   wican --dump <repo-root>   print the merged index summary (determinism
+//                              oracle; see index.h DebugSummary)
+//
+// Walks src/, tools/, tests/, bench/, examples/ for C++ sources, builds the
+// merged RepoIndex, runs the taint / lock-order / lifetime passes (passes.h),
+// prints one `path:line: [rule] message` per unsuppressed finding, and exits
+// non-zero if anything fired. Registered as the `wican_repo` ctest next to
+// `repo_lint`, so a cross-file dataflow violation fails the build.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "index.h"
+#include "passes.h"
+
+namespace wiclean {
+namespace analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasAnalyzableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Directories whose contents are analyzed, relative to the repo root.
+constexpr const char* kRoots[] = {"src", "tools", "tests", "bench",
+                                  "examples"};
+
+/// Skipped anywhere in the tree: build output and analyzer/lint fixtures
+/// (the fixtures deliberately contain defects; analyze_test.cc covers them).
+bool SkipDirectory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "testdata" || name.rfind("build", 0) == 0;
+}
+
+int Run(const fs::path& repo_root, bool dump) {
+  std::vector<FileIndex> files;
+  for (const char* root : kRoots) {
+    fs::path dir = repo_root / root;
+    if (!fs::exists(dir)) continue;
+    auto it = fs::recursive_directory_iterator(dir);
+    for (auto end = fs::end(it); it != end; ++it) {
+      if (it->is_directory()) {
+        if (SkipDirectory(it->path())) it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !HasAnalyzableExtension(it->path())) {
+        continue;
+      }
+      const std::string rel =
+          fs::relative(it->path(), repo_root).generic_string();
+      std::ifstream in(it->path(), std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "wican: cannot read %s\n", rel.c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      files.push_back(IndexFile(rel, buffer.str()));
+    }
+  }
+  const size_t file_count = files.size();
+  RepoIndex index = BuildRepoIndex(std::move(files));
+
+  if (dump) {
+    std::printf("%s", DebugSummary(index).c_str());
+    return 0;
+  }
+
+  std::vector<AnalyzeFinding> findings = RunAllPasses(index);
+  for (const AnalyzeFinding& f : findings) {
+    std::printf("%s\n", f.ToString().c_str());
+  }
+  std::fprintf(stderr, "wican: %zu file(s), %zu finding(s)\n", file_count,
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace wiclean
+
+int main(int argc, char** argv) {
+  bool dump = false;
+  const char* root = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else if (root == nullptr) {
+      root = argv[i];
+    } else {
+      root = nullptr;
+      break;
+    }
+  }
+  if (root == nullptr) {
+    std::fprintf(stderr, "usage: wican [--dump] <repo-root>\n");
+    return 2;
+  }
+  return wiclean::analyze::Run(root, dump);
+}

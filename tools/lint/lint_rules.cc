@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <deque>
+#include <utility>
 
 namespace wiclean {
 namespace lint {
@@ -30,18 +31,64 @@ bool FindWord(std::string_view text, std::string_view token, size_t* pos) {
   }
 }
 
-/// True if the raw (unstripped) line carries `// lint:allow(<rule>)`.
-bool Suppressed(std::string_view raw_line, std::string_view rule) {
-  size_t hit = raw_line.find("lint:allow(");
-  while (hit != std::string_view::npos) {
-    std::string_view rest = raw_line.substr(hit + 11);
-    if (rest.size() > rule.size() && rest.substr(0, rule.size()) == rule &&
-        rest[rule.size()] == ')') {
-      return true;
+/// Position of the `//` that starts the line comment, skipping string and
+/// character literals, or npos when the line has no line comment.
+size_t LineCommentStart(std::string_view raw) {
+  size_t i = 0;
+  while (i < raw.size()) {
+    char c = raw[i];
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < raw.size()) {
+        if (raw[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (raw[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
     }
-    hit = raw_line.find("lint:allow(", hit + 1);
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') return i;
+    ++i;
   }
-  return false;
+  return std::string_view::npos;
+}
+
+/// Real rule names are kebab-case; anything else (e.g. the `<rule>`
+/// placeholder in documentation prose) is not a suppression.
+bool IsRuleShaped(std::string_view rule) {
+  if (rule.empty()) return false;
+  for (char c : rule) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// All rule names annotated `lint:allow(<rule>)` in the line's `//` comment.
+/// Occurrences inside string literals do not count: a suppression is a
+/// comment addressed to the linter, not data.
+std::vector<std::string> SuppressionsOn(std::string_view raw_line) {
+  std::vector<std::string> rules;
+  size_t comment = LineCommentStart(raw_line);
+  if (comment == std::string_view::npos) return rules;
+  std::string_view text = raw_line.substr(comment);
+  size_t hit = text.find("lint:allow(");
+  while (hit != std::string_view::npos) {
+    std::string_view rest = text.substr(hit + 11);
+    size_t close = rest.find(')');
+    if (close != std::string_view::npos && IsRuleShaped(rest.substr(0, close))) {
+      rules.emplace_back(rest.substr(0, close));
+    }
+    hit = text.find("lint:allow(", hit + 1);
+  }
+  return rules;
 }
 
 /// A banned token and why it is banned.
@@ -137,10 +184,13 @@ std::string StripCommentsAndStrings(std::string_view line, bool* in_block) {
 std::vector<LintFinding> LintFile(const std::string& path,
                                   std::string_view content,
                                   bool is_test_file) {
-  std::vector<LintFinding> findings;
+  // Candidates are collected before suppressions are applied, so a stale
+  // `lint:allow(<rule>)` — one whose line no longer triggers <rule> — can be
+  // detected instead of silently rotting.
+  std::vector<LintFinding> candidates;
   auto report = [&](size_t line, std::string rule, std::string message) {
-    findings.push_back(LintFinding{path, line, std::move(rule),
-                                   std::move(message)});
+    candidates.push_back(LintFinding{path, line, std::move(rule),
+                                     std::move(message)});
   };
 
   bool is_header = path.size() >= 2 &&
@@ -228,8 +278,7 @@ std::vector<LintFinding> LintFile(const std::string& path,
       size_t pos = 0;
       if (FindWord(stripped, banned.name, &pos) &&
           stripped.size() > pos + banned.name.size() &&
-          stripped[pos + banned.name.size()] == '(' &&
-          !Suppressed(raw, "banned-function")) {
+          stripped[pos + banned.name.size()] == '(') {
         report(line_number, "banned-function",
                std::string(banned.name) + "() is banned: " +
                    std::string(banned.reason));
@@ -241,8 +290,7 @@ std::vector<LintFinding> LintFile(const std::string& path,
     if (!memcpy_exempt) {
       size_t pos = 0;
       if (FindWord(stripped, "memcpy", &pos) &&
-          stripped.size() > pos + 6 && stripped[pos + 6] == '(' &&
-          !Suppressed(raw, "raw-memcpy")) {
+          stripped.size() > pos + 6 && stripped[pos + 6] == '(') {
         report(line_number, "raw-memcpy",
                "memcpy() is banned outside serve/pattern_store.cc and "
                "log/action_log_codec.cc: deserialize through the "
@@ -253,8 +301,7 @@ std::vector<LintFinding> LintFile(const std::string& path,
     // todo-format, checked on the raw line since TODOs live in comments.
     // (Mentions of the token in this block suppress themselves.)
     size_t todo = 0;
-    if (FindWord(raw, "TODO", &todo) &&  // lint:allow(todo-format)
-        !Suppressed(raw, "todo-format")) {
+    if (FindWord(raw, "TODO", &todo)) {  // lint:allow(todo-format)
       std::string_view rest = std::string_view(raw).substr(todo + 4);
       bool well_formed = false;
       if (!rest.empty() && rest[0] == '(') {
@@ -272,7 +319,7 @@ std::vector<LintFinding> LintFile(const std::string& path,
     // raw-new: production code only.
     if (!is_test_file) {
       size_t pos = 0;
-      if (FindWord(stripped, "new", &pos) && !Suppressed(raw, "raw-new")) {
+      if (FindWord(stripped, "new", &pos)) {
         report(line_number, "raw-new",
                "raw new is banned outside tests; use containers, "
                "make_unique, or a registry (intentional static-lifetime "
@@ -284,7 +331,7 @@ std::vector<LintFinding> LintFile(const std::string& path,
     // check nearby or one of the checked macros.
     if (!is_test_file) {
       size_t pos = stripped.find(".value()");
-      if (pos != std::string::npos && !Suppressed(raw, "unchecked-value")) {
+      if (pos != std::string::npos) {
         bool checked = false;
         auto window_has = [&](std::string_view needle) {
           if (stripped.find(needle) != std::string::npos) return true;
@@ -309,6 +356,49 @@ std::vector<LintFinding> LintFile(const std::string& path,
     recent.push_back(std::move(stripped));
     if (recent.size() >= kValueCheckWindow) recent.pop_front();
   }
+
+  // --- suppression filtering + dead-suppression ---------------------------
+  // A suppression silences same-line findings of its rule. One that matches
+  // nothing is stale — the code it excused has been rewritten — and is
+  // itself a finding, so suppressions cannot outlive their reason.
+  // (dead-suppression is deliberately not suppressible.)
+  std::vector<std::pair<size_t, std::string>> suppressions;
+  for (size_t n = 0; n < lines.size(); ++n) {
+    for (std::string& rule : SuppressionsOn(lines[n])) {
+      suppressions.emplace_back(n + 1, std::move(rule));
+    }
+  }
+
+  std::vector<LintFinding> findings;
+  for (LintFinding& f : candidates) {
+    bool silenced = false;
+    for (const auto& [line, rule] : suppressions) {
+      if (line == f.line && rule == f.rule) {
+        silenced = true;
+        break;
+      }
+    }
+    if (!silenced) findings.push_back(std::move(f));
+  }
+  for (const auto& [line, rule] : suppressions) {
+    bool live = false;
+    for (const LintFinding& f : candidates) {
+      if (f.line == line && f.rule == rule) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) {
+      findings.push_back(LintFinding{
+          path, line, "dead-suppression",
+          "lint:allow(" + rule + ") matches no " + rule +
+              " finding on this line; remove the stale suppression"});
+    }
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     return a.line < b.line;
+                   });
 
   return findings;
 }

@@ -33,6 +33,12 @@ namespace lint {
 ///                     readers in src/serve/pattern_store.cc (exempt);
 ///                     everywhere else use those helpers or field-by-field
 ///                     byte composition
+///   dead-suppression  a lint:allow comment on a line that no longer
+///                     triggers the named rule (including typo'd rule
+///                     names): the code it excused was rewritten, so the
+///                     stale suppression must be removed. Suppressions only
+///                     count inside // comments, never in string literals,
+///                     and this rule is itself not suppressible.
 
 /// One rule violation at a file:line.
 struct LintFinding {

@@ -209,6 +209,52 @@ TEST(LintFileTest, SuppressionIsPerRule) {
   EXPECT_TRUE(HasRule(f, "banned-function"));
 }
 
+TEST(LintFileTest, DeadSuppressionFlagged) {
+  // The line no longer contains a raw new, so the allow is stale.
+  const std::string content = "int x = 0;  // lint:allow(raw-new)\n";
+  std::vector<LintFinding> f = LintFile("src/a.cc", content, false);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "dead-suppression");
+  EXPECT_EQ(f[0].line, 1u);
+}
+
+TEST(LintFileTest, LiveSuppressionIsNotDead) {
+  const std::string content =
+      "static Mutex* mu = new Mutex;  // lint:allow(raw-new)\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/a.cc", content, false), "dead-suppression"));
+}
+
+TEST(LintFileTest, DeadSuppressionCatchesUnknownRuleNames) {
+  // A typo'd rule name can never match a finding, so it is always dead.
+  const std::string content = "int x = rand();  // lint:allow(band-function)\n";
+  std::vector<LintFinding> f = LintFile("src/a.cc", content, false);
+  EXPECT_TRUE(HasRule(f, "banned-function"));  // typo did not silence it
+  EXPECT_TRUE(HasRule(f, "dead-suppression"));
+}
+
+TEST(LintFileTest, SuppressionOnlyCountsInComments) {
+  // The annotation inside a string literal is data, not a suppression, so
+  // it is neither honored nor reported as dead.
+  const std::string content =
+      "const char* kHelp = \"silence with // lint:allow(raw-new)\";\n";
+  EXPECT_TRUE(LintFile("src/a.cc", content, false).empty());
+}
+
+TEST(LintFileTest, PlaceholderProseIsNotASuppression) {
+  // Documentation writing lint:allow(<rule>) with a placeholder must not be
+  // parsed as a (necessarily dead) suppression of a rule named "<rule>".
+  const std::string content = "// disable via lint:allow(<rule>) on the line\n";
+  EXPECT_TRUE(LintFile("src/a.cc", content, false).empty());
+}
+
+TEST(LintFileTest, DeadSuppressionAppliesInTestFilesToo) {
+  // raw-new never fires in test files, so allowing it there is always dead.
+  const std::string content = "auto* p = new int(3);  // lint:allow(raw-new)\n";
+  EXPECT_TRUE(HasRule(LintFile("tests/a_test.cc", content, true),
+                      "dead-suppression"));
+}
+
 TEST(LintFileTest, FindingToStringFormat) {
   std::vector<LintFinding> f =
       LintFile("src/a.cc", "int x = rand();\n", false);
@@ -248,6 +294,7 @@ TEST(LintFixtureTest, BadFixturesEachTripTheirRule) {
       {"bad_todo.cc", "todo-format"},
       {"bad_unchecked_value.cc", "unchecked-value"},
       {"bad_memcpy.cc", "raw-memcpy"},
+      {"bad_dead_suppression.cc", "dead-suppression"},
   };
   for (const auto& c : kCases) {
     std::vector<LintFinding> f =

@@ -1,0 +1,15 @@
+// Lint fixture: suppressions left behind after the code they silenced was
+// rewritten. Neither line still triggers the named rule, so both
+// lint:allow comments are stale and dead-suppression must fire — including
+// the second one, where the rule name is a typo that never existed.
+#include <memory>
+
+void MakeWidget() {
+  auto p = std::make_unique<int>(3);  // lint:allow(raw-new)
+  (void)p;
+}
+
+void CopyNothing() {
+  int dst = 0;  // lint:allow(raw-memcpyy)
+  (void)dst;
+}
