@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/realization_join.h"
 #include "relational/ops.h"
@@ -13,6 +15,32 @@
 namespace wiclean {
 
 namespace rel = ::wiclean::relational;
+
+void WorkingSetProfile::Accumulate(const WorkingSetProfile& other) {
+  join_bytes_touched += other.join_bytes_touched;
+  dedup_bytes_touched += other.dedup_bytes_touched;
+  tables_born += other.tables_born;
+  tables_died += other.tables_died;
+  live_bytes += other.live_bytes;
+  peak_live_bytes = std::max(peak_live_bytes, other.peak_live_bytes);
+}
+
+void WorkingSetProfile::Subtract(const WorkingSetProfile& base) {
+  join_bytes_touched -= base.join_bytes_touched;
+  dedup_bytes_touched -= base.dedup_bytes_touched;
+  tables_born -= base.tables_born;
+  tables_died -= base.tables_died;
+  // live_bytes / peak_live_bytes are gauges; keep the current values.
+}
+
+std::string WorkingSetProfile::ToJson() const {
+  return "{\"join_bytes_touched\":" + std::to_string(join_bytes_touched) +
+         ",\"dedup_bytes_touched\":" + std::to_string(dedup_bytes_touched) +
+         ",\"tables_born\":" + std::to_string(tables_born) +
+         ",\"tables_died\":" + std::to_string(tables_died) +
+         ",\"live_bytes\":" + std::to_string(live_bytes) +
+         ",\"peak_live_bytes\":" + std::to_string(peak_live_bytes) + "}";
+}
 
 void MineWindowStats::Accumulate(const MineWindowStats& other) {
   candidates_considered += other.candidates_considered;
@@ -22,6 +50,7 @@ void MineWindowStats::Accumulate(const MineWindowStats& other) {
   frequent_patterns += other.frequent_patterns;
   ingest_seconds += other.ingest_seconds;
   mine_seconds += other.mine_seconds;
+  workingset.Accumulate(other.workingset);
 }
 
 void MineWindowStats::Subtract(const MineWindowStats& base) {
@@ -29,6 +58,7 @@ void MineWindowStats::Subtract(const MineWindowStats& base) {
   actions_ingested -= base.actions_ingested;
   ingest_seconds -= base.ingest_seconds;
   mine_seconds -= base.mine_seconds;
+  workingset.Subtract(base.workingset);
   // entities_ingested / abstract_actions / frequent_patterns are level
   // gauges, not counters; keep the current values.
 }
@@ -70,7 +100,15 @@ class PatternMiner::Impl {
         options_(options),
         ctx_(ctx),
         seed_type_(seed_type),
-        seed_count_(registry->CountEntitiesOfType(seed_type)) {}
+        seed_count_(registry->CountEntitiesOfType(seed_type)) {
+    // The evaluation pool is miner-owned and never shared with window-level
+    // parallelism (WindowSearchOptions::num_threads): candidate tasks call
+    // the relational kernels serially, so no task ever Waits on a pool that
+    // could be running its caller (see relational/morsel.h).
+    if (options.num_threads > 1) {
+      pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    }
+  }
 
   size_t seed_count() const { return seed_count_; }
 
@@ -160,11 +198,45 @@ class PatternMiner::Impl {
   }
 
  private:
+  /// One concrete extension to evaluate: base pattern state (stable pointer —
+  /// unordered_map nodes never move), the glued action, and the gluing.
+  struct ExtensionCandidate {
+    const MiningContext::PatternState* base = nullptr;
+    const AbstractActionEntry* entry = nullptr;
+    int glue_source = 0;
+    int glue_target = -1;  // -1 = fresh target variable
+  };
+
+  /// Output of one pure candidate evaluation. `computed` is false when the
+  /// canonical key was already cached at evaluation time (nothing to insert;
+  /// the commit step re-admits the cached state, as the serial code does).
+  struct CandidateResult {
+    std::string key;
+    Pattern pattern;
+    rel::Table realization{rel::Schema()};
+    size_t support = 0;
+    bool computed = false;
+    WorkingSetProfile touched;  // per-task profile shard, merged at commit
+  };
+
   /// Fixpoint expansion pass: grows `admitted_keys` (a worklist of pattern
   /// keys whose expansions are explored) by testing every untested
   /// (pattern, abstract action) pair, admitting extensions with frequency >=
   /// `admission`. Also (re)scans singleton candidates when mark_frequent is
   /// set, so newly ingested action types can seed new patterns.
+  ///
+  /// Parallel structure: the worklist is processed in generations — all
+  /// untested pairs of the patterns admitted so far are enumerated into a
+  /// candidate list (marking them tested), every candidate is evaluated as a
+  /// pure task against a snapshot of the evaluation cache (per-task result
+  /// slots, no shared writes), and the results commit serially in
+  /// enumeration order. A candidate's base pattern is always from an earlier
+  /// generation, so evaluations never depend on same-generation commits;
+  /// duplicate canonical keys within a generation recompute the same pure
+  /// result and the commit step keeps the first (= the one the serial code
+  /// would have cached) and drops the rest without counting them. The
+  /// admitted worklist, cache contents, and every stats counter are therefore
+  /// identical at any MinerOptions::num_threads.
   Status ExpandAll(double admission, std::vector<std::string>* admitted_keys,
                    std::vector<uint64_t>* admitted_hashes,
                    std::unordered_set<uint64_t>* tested, bool mark_frequent) {
@@ -186,15 +258,35 @@ class PatternMiner::Impl {
     }
     std::unordered_set<std::string> admitted_set(admitted_keys->begin(),
                                                  admitted_keys->end());
-    for (size_t pi = 0; pi < admitted_keys->size(); ++pi) {
-      const std::string pattern_key = (*admitted_keys)[pi];
-      const uint64_t pattern_hash = (*admitted_hashes)[pi];
-      for (const auto& [entry, action_hash] : actions) {
-        uint64_t pair_key = HashCombine(pattern_hash, action_hash);
-        if (!tested->insert(pair_key).second) continue;
-        WICLEAN_RETURN_IF_ERROR(ExpandPair(pattern_key, *entry, admission,
-                                           admitted_keys, admitted_hashes,
-                                           &admitted_set, mark_frequent));
+    size_t pi = 0;
+    while (pi < admitted_keys->size()) {
+      const size_t gen_end = admitted_keys->size();
+      std::vector<ExtensionCandidate> candidates;
+      for (; pi < gen_end; ++pi) {
+        const std::string& pattern_key = (*admitted_keys)[pi];
+        const uint64_t pattern_hash = (*admitted_hashes)[pi];
+        for (const auto& [entry, action_hash] : actions) {
+          uint64_t pair_key = HashCombine(pattern_hash, action_hash);
+          if (!tested->insert(pair_key).second) continue;
+          CollectPair(pattern_key, *entry, &candidates);
+        }
+      }
+      if (candidates.empty()) continue;
+
+      std::vector<CandidateResult> results(candidates.size());
+      std::vector<Status> statuses(candidates.size(), Status::OK());
+      auto evaluate = [&](size_t k) {
+        statuses[k] = EvaluateCandidate(candidates[k], &results[k]);
+      };
+      if (pool_ != nullptr && candidates.size() > 1) {
+        pool_->ParallelFor(candidates.size(), evaluate);
+      } else {
+        for (size_t k = 0; k < candidates.size(); ++k) evaluate(k);
+      }
+      for (const Status& s : statuses) WICLEAN_RETURN_IF_ERROR(s);
+      for (CandidateResult& res : results) {
+        CommitCandidate(&res, admission, admitted_keys, admitted_hashes,
+                        &admitted_set, mark_frequent);
       }
     }
     return Status::OK();
@@ -241,6 +333,10 @@ class PatternMiner::Impl {
           int64_t st = src.column(2).Int64At(r);
           if (su != sv) realization.AppendInt64Row({su, sv, st, st});
         }
+        if (options_.profile_workingset) {
+          ctx_->stats.workingset.dedup_bytes_touched +=
+              realization.ApproxBytes();
+        }
         realization = DedupKeepTightest(realization, 2);
         cached = RecordEvaluation(std::move(key), std::move(p),
                                   std::move(realization));
@@ -251,18 +347,18 @@ class PatternMiner::Impl {
     return Status::OK();
   }
 
-  /// Expands one (pattern, abstract action) pair: every way of gluing the
-  /// action's source to a same-typed pattern variable, with the target either
-  /// a fresh variable or glued to a same-typed existing variable (§4.2).
-  Status ExpandPair(const std::string& pattern_key,
-                    const AbstractActionEntry& entry, double admission,
-                    std::vector<std::string>* admitted_keys,
-                    std::vector<uint64_t>* admitted_hashes,
-                    std::unordered_set<std::string>* admitted_set,
-                    bool mark_frequent) {
+  /// Enumerates the concrete extensions of one (pattern, abstract action)
+  /// pair: every way of gluing the action's source to a same-typed pattern
+  /// variable, with the target either a fresh variable or glued to a
+  /// same-typed existing variable (§4.2). Candidates are appended in exactly
+  /// the order the serial code evaluated them — the commit step replays this
+  /// order, which is what keeps parallel runs byte-identical.
+  void CollectPair(const std::string& pattern_key,
+                   const AbstractActionEntry& entry,
+                   std::vector<ExtensionCandidate>* out) {
     const MiningContext::PatternState& base = ctx_->evaluated.at(pattern_key);
     const Pattern& p = base.pattern;
-    if (p.num_actions() >= options_.max_pattern_actions) return Status::OK();
+    if (p.num_actions() >= options_.max_pattern_actions) return;
 
     // Seed-focus constraint: does the pattern already use its one allowed
     // seed-comparable variable?
@@ -297,9 +393,7 @@ class PatternMiner::Impl {
           taxonomy_->Comparable(entry.key.target_type, seed_type_);
       if (p.num_vars() < options_.max_pattern_vars &&
           !fresh_seed_var_blocked) {
-        WICLEAN_RETURN_IF_ERROR(EvaluateExtension(
-            base, entry, i, /*glue_target=*/-1, admission, admitted_keys,
-            admitted_hashes, admitted_set, mark_frequent));
+        out->push_back(ExtensionCandidate{&base, &entry, i, -1});
       }
       // Option B: glue the target onto each compatible existing variable.
       for (int k = 0; k < static_cast<int>(p.num_vars()); ++k) {
@@ -313,27 +407,25 @@ class PatternMiner::Impl {
           }
         }
         if (duplicate_action) continue;
-        WICLEAN_RETURN_IF_ERROR(EvaluateExtension(
-            base, entry, i, k, admission, admitted_keys, admitted_hashes,
-            admitted_set, mark_frequent));
+        out->push_back(ExtensionCandidate{&base, &entry, i, k});
       }
     }
-    return Status::OK();
   }
 
-  /// Builds the extended pattern, computes its realization table by joining
-  /// the base realization with the action realization, evaluates its
-  /// frequency, caches, and admits. The PM path runs the fused
-  /// JoinRealizations operator (join + span recompute + prune + dedup in one
-  /// pass, no wide join materialized); PM−join keeps the unfused
-  /// nested-loop pipeline as the §6 ablation baseline.
-  Status EvaluateExtension(const MiningContext::PatternState& base,
-                           const AbstractActionEntry& entry, int glue_source,
-                           int glue_target, double admission,
-                           std::vector<std::string>* admitted_keys,
-                           std::vector<uint64_t>* admitted_hashes,
-                           std::unordered_set<std::string>* admitted_set,
-                           bool mark_frequent) {
+  /// Pure evaluation of one extension candidate: builds the extended
+  /// pattern, computes its realization table by joining the base realization
+  /// with the action realization, and counts seed support. Reads the
+  /// evaluation cache (no writes happen while tasks run) and shared
+  /// immutable tables only, so any number of these run concurrently. The PM
+  /// path runs the fused JoinRealizations operator (join + span recompute +
+  /// prune + dedup in one pass, no wide join materialized); PM−join keeps
+  /// the unfused nested-loop pipeline as the §6 ablation baseline.
+  Status EvaluateCandidate(const ExtensionCandidate& c,
+                           CandidateResult* out) const {
+    const MiningContext::PatternState& base = *c.base;
+    const AbstractActionEntry& entry = *c.entry;
+    const int glue_source = c.glue_source;
+    const int glue_target = c.glue_target;
     Pattern extended = base.pattern;
     int target_var =
         glue_target >= 0 ? glue_target : extended.AddVar(entry.key.target_type);
@@ -341,88 +433,141 @@ class PatternMiner::Impl {
                                                entry.key.relation,
                                                target_var));
 
-    std::string key = extended.CanonicalKey();
-    auto cached = ctx_->evaluated.find(key);
-    if (cached == ctx_->evaluated.end()) {
-      const size_t n = base.pattern.num_vars();
-      const size_t new_vars = glue_target < 0 ? n + 1 : n;
-      rel::Table realization(rel::Schema{});
-      if (options_.join_engine == JoinEngineKind::kHashJoin) {
-        RealizationJoinSpec rspec;
-        rspec.num_left_vars = n;
-        rspec.glue_source_col = static_cast<size_t>(glue_source);
-        rspec.glue_target_col = glue_target;
-        if (glue_target < 0) {
-          // Fresh variable: must bind an entity distinct from every variable
-          // it could share a binding with (types on one taxonomy path).
-          for (size_t k = 0; k < n; ++k) {
-            if (taxonomy_->Comparable(base.pattern.var_type(static_cast<int>(k)),
-                                      entry.key.target_type)) {
-              rspec.distinct_from_target.push_back(k);
-            }
-          }
-        }
-        rspec.max_span = options_.max_realization_span;
-        rspec.dedup_keep_tightest = true;
-        WICLEAN_ASSIGN_OR_RETURN(
-            realization,
-            JoinRealizations(base.realizations, entry.realizations,
-                             RealizationSchema(new_vars), rspec));
-      } else {
-        rel::JoinSpec spec;
-        spec.equal_cols.push_back(
-            {static_cast<size_t>(glue_source), 0});  // pattern var = action u
-        if (glue_target >= 0) {
-          spec.equal_cols.push_back({static_cast<size_t>(glue_target), 1});
-        } else {
-          for (size_t k = 0; k < n; ++k) {
-            if (taxonomy_->Comparable(base.pattern.var_type(static_cast<int>(k)),
-                                      entry.key.target_type)) {
-              spec.not_equal_cols.push_back({k, 1});
-            }
-          }
-        }
-        WICLEAN_ASSIGN_OR_RETURN(
-            rel::Table joined,
-            rel::NestedLoopJoin(base.realizations, entry.realizations, spec));
-        // Joined layout: v0..v(n-1), tmin, tmax, u, v, t. Recompute the
-        // span, prune realizations wider than any reportable pattern window,
-        // and keep the tightest witness per variable assignment.
-        realization = rel::Table(RealizationSchema(new_vars));
-        std::vector<int64_t> row(new_vars + 2);
-        for (size_t r = 0; r < joined.num_rows(); ++r) {
-          int64_t t = joined.column(n + 4).Int64At(r);
-          int64_t tmin = std::min(joined.column(n).Int64At(r), t);
-          int64_t tmax = std::max(joined.column(n + 1).Int64At(r), t);
-          if (tmax - tmin > options_.max_realization_span) continue;
-          for (size_t c = 0; c < n; ++c) row[c] = joined.column(c).Int64At(r);
-          if (glue_target < 0) row[n] = joined.column(n + 3).Int64At(r);  // v
-          row[new_vars] = tmin;
-          row[new_vars + 1] = tmax;
-          realization.AppendInt64Row(row);
-        }
-        realization = DedupKeepTightest(realization, new_vars);
-      }
-      cached = RecordEvaluation(std::move(key), std::move(extended),
-                                std::move(realization));
+    out->key = extended.CanonicalKey();
+    if (ctx_->evaluated.find(out->key) != ctx_->evaluated.end()) {
+      // Cached at snapshot time; commit will re-admit the cached state.
+      return Status::OK();
     }
-    MaybeAdmit(cached, admission, admitted_keys, admitted_hashes,
-               admitted_set, mark_frequent);
+    const size_t n = base.pattern.num_vars();
+    const size_t new_vars = glue_target < 0 ? n + 1 : n;
+    rel::Table realization(rel::Schema{});
+    if (options_.join_engine == JoinEngineKind::kHashJoin) {
+      RealizationJoinSpec rspec;
+      rspec.num_left_vars = n;
+      rspec.glue_source_col = static_cast<size_t>(glue_source);
+      rspec.glue_target_col = glue_target;
+      if (glue_target < 0) {
+        // Fresh variable: must bind an entity distinct from every variable
+        // it could share a binding with (types on one taxonomy path).
+        for (size_t k = 0; k < n; ++k) {
+          if (taxonomy_->Comparable(base.pattern.var_type(static_cast<int>(k)),
+                                    entry.key.target_type)) {
+            rspec.distinct_from_target.push_back(k);
+          }
+        }
+      }
+      rspec.max_span = options_.max_realization_span;
+      rspec.dedup_keep_tightest = true;
+      if (options_.profile_workingset) {
+        out->touched.join_bytes_touched += base.realizations.ApproxBytes() +
+                                           entry.realizations.ApproxBytes();
+      }
+      WICLEAN_ASSIGN_OR_RETURN(
+          realization,
+          JoinRealizations(base.realizations, entry.realizations,
+                           RealizationSchema(new_vars), rspec));
+    } else {
+      rel::JoinSpec spec;
+      spec.equal_cols.push_back(
+          {static_cast<size_t>(glue_source), 0});  // pattern var = action u
+      if (glue_target >= 0) {
+        spec.equal_cols.push_back({static_cast<size_t>(glue_target), 1});
+      } else {
+        for (size_t k = 0; k < n; ++k) {
+          if (taxonomy_->Comparable(base.pattern.var_type(static_cast<int>(k)),
+                                    entry.key.target_type)) {
+            spec.not_equal_cols.push_back({k, 1});
+          }
+        }
+      }
+      if (options_.profile_workingset) {
+        out->touched.join_bytes_touched += base.realizations.ApproxBytes() +
+                                           entry.realizations.ApproxBytes();
+      }
+      WICLEAN_ASSIGN_OR_RETURN(
+          rel::Table joined,
+          rel::NestedLoopJoin(base.realizations, entry.realizations, spec));
+      // Joined layout: v0..v(n-1), tmin, tmax, u, v, t. Recompute the
+      // span, prune realizations wider than any reportable pattern window,
+      // and keep the tightest witness per variable assignment.
+      realization = rel::Table(RealizationSchema(new_vars));
+      std::vector<int64_t> row(new_vars + 2);
+      for (size_t r = 0; r < joined.num_rows(); ++r) {
+        int64_t t = joined.column(n + 4).Int64At(r);
+        int64_t tmin = std::min(joined.column(n).Int64At(r), t);
+        int64_t tmax = std::max(joined.column(n + 1).Int64At(r), t);
+        if (tmax - tmin > options_.max_realization_span) continue;
+        for (size_t c = 0; c < n; ++c) row[c] = joined.column(c).Int64At(r);
+        if (glue_target < 0) row[n] = joined.column(n + 3).Int64At(r);  // v
+        row[new_vars] = tmin;
+        row[new_vars + 1] = tmax;
+        realization.AppendInt64Row(row);
+      }
+      if (options_.profile_workingset) {
+        out->touched.dedup_bytes_touched += realization.ApproxBytes();
+      }
+      realization = DedupKeepTightest(realization, new_vars);
+    }
+    out->support =
+        CountDistinctSeedSources(realization, extended.source_var());
+    out->pattern = std::move(extended);
+    out->realization = std::move(realization);
+    out->computed = true;
     return Status::OK();
   }
 
-  /// Computes frequency (Definition 3.2) and stores the evaluation.
+  /// Serial commit of one evaluated candidate, in enumeration order: inserts
+  /// the result into the cache unless the key arrived earlier (same-
+  /// generation duplicate routes recompute the same canonical pattern; the
+  /// first commit wins, as in the serial code), then replays admission.
+  void CommitCandidate(CandidateResult* res, double admission,
+                       std::vector<std::string>* admitted_keys,
+                       std::vector<uint64_t>* admitted_hashes,
+                       std::unordered_set<std::string>* admitted_set,
+                       bool mark_frequent) {
+    auto it = ctx_->evaluated.find(res->key);
+    if (it == ctx_->evaluated.end()) {
+      WICLEAN_CHECK(res->computed);
+      ctx_->stats.workingset.Accumulate(res->touched);
+      it = RecordEvaluated(std::move(res->key), std::move(res->pattern),
+                           std::move(res->realization), res->support);
+    }
+    MaybeAdmit(it, admission, admitted_keys, admitted_hashes, admitted_set,
+               mark_frequent);
+  }
+
+  /// Computes seed support, then stores the evaluation (serial callers).
   MiningContext::EvaluatedMap::iterator RecordEvaluation(
       std::string key, Pattern pattern, rel::Table realization) {
+    size_t source_col = static_cast<size_t>(pattern.source_var());
+    size_t support = CountDistinctSeedSources(realization, source_col);
+    return RecordEvaluated(std::move(key), std::move(pattern),
+                           std::move(realization), support);
+  }
+
+  /// Stores one evaluation with a precomputed support count, computes its
+  /// frequency (Definition 3.2), and applies the realization cache floor.
+  MiningContext::EvaluatedMap::iterator RecordEvaluated(
+      std::string key, Pattern pattern, rel::Table realization,
+      size_t support) {
     ++ctx_->stats.candidates_considered;
     MiningContext::PatternState state;
-    size_t source_col = static_cast<size_t>(pattern.source_var());
-    state.support = CountDistinctSeedSources(realization, source_col);
+    state.support = support;
     state.frequency =
         seed_count_ == 0
             ? 0.0
             : static_cast<double>(state.support) / seed_count_;
     state.pattern = std::move(pattern);
+    if (options_.profile_workingset) {
+      WorkingSetProfile& ws = ctx_->stats.workingset;
+      ++ws.tables_born;
+      if (state.frequency >= options_.realization_cache_min_frequency) {
+        ws.live_bytes += realization.ApproxBytes();
+        ws.peak_live_bytes = std::max(ws.peak_live_bytes, ws.live_bytes);
+      } else {
+        ++ws.tables_died;  // evicted immediately by the cache floor
+      }
+    }
     if (state.frequency >= options_.realization_cache_min_frequency) {
       state.realizations = std::move(realization);
     }
@@ -484,6 +629,9 @@ class PatternMiner::Impl {
 
   std::vector<std::string> frequent_keys_;
   std::vector<uint64_t> frequent_hashes_;  // Fnv1a64 of frequent_keys_[i]
+  /// Candidate-evaluation pool (MinerOptions::num_threads > 1 only). Owned
+  /// here so it is never shared with window-level pools.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 PatternMiner::PatternMiner(const EntityRegistry* registry,

@@ -86,6 +86,22 @@ struct MinerOptions {
   /// this floor — lower it if you run with more permissive thresholds.
   /// Bounds the memory of wide-window, low-threshold rounds.
   double realization_cache_min_frequency = 0.1;
+
+  /// Mining-internal parallelism: candidate evaluations within one expansion
+  /// generation run as pure tasks on a miner-owned thread pool (1 = serial,
+  /// no pool). Results commit serially in candidate enumeration order, so the
+  /// whole-mine output — pattern set, frequencies, stats counters, report
+  /// text — is invariant under this knob. Distinct from
+  /// WindowSearchOptions::num_threads (window-level parallelism); the pools
+  /// are separate, so nesting the two never deadlocks.
+  size_t num_threads = 1;
+
+  /// When true, MineWindow records a working-set/liveness profile of the
+  /// mining loop (approximate bytes touched per kernel family plus
+  /// realization-table birth/death and live/peak-byte counters) in
+  /// MineWindowStats::workingset. Off by default: the byte accounting adds a
+  /// small cost per kernel call.
+  bool profile_workingset = false;
 };
 
 /// A frequent pattern discovered in one window.
@@ -104,6 +120,25 @@ struct RelativePattern {
   size_t support = 0;
 };
 
+/// Working-set/liveness profile of the mining loop, populated when
+/// MinerOptions::profile_workingset is set. Byte figures are
+/// Table::ApproxBytes estimates of kernel *inputs* (what a pass over the
+/// call's operands reads), not allocator truth.
+struct WorkingSetProfile {
+  size_t join_bytes_touched = 0;   // fused/nested join inputs read
+  size_t dedup_bytes_touched = 0;  // standalone dedup inputs read
+  size_t tables_born = 0;          // realization tables materialized
+  size_t tables_died = 0;          // dropped below the realization cache floor
+  size_t live_bytes = 0;           // resident realization bytes (gauge)
+  size_t peak_live_bytes = 0;      // high-water mark of live_bytes
+
+  void Accumulate(const WorkingSetProfile& other);
+  /// Subtracts a baseline snapshot of the counters; the live/peak gauges keep
+  /// their current values.
+  void Subtract(const WorkingSetProfile& base);
+  std::string ToJson() const;
+};
+
 /// Counters for one MineWindow call (and the small-data candidate experiment).
 struct MineWindowStats {
   size_t candidates_considered = 0;  // patterns whose frequency was evaluated
@@ -113,6 +148,8 @@ struct MineWindowStats {
   size_t frequent_patterns = 0;
   double ingest_seconds = 0;  // reduced_and_abstract_actions time
   double mine_seconds = 0;    // expansion + frequency evaluation time
+  /// Populated only when MinerOptions::profile_workingset is set.
+  WorkingSetProfile workingset;
 
   void Accumulate(const MineWindowStats& other);
   /// Subtracts a baseline snapshot (for incremental reporting).

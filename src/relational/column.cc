@@ -34,13 +34,25 @@ void Column::Reserve(size_t n) {
 
 void Column::AppendGather(const Column& src, const std::vector<uint32_t>& rows) {
   WICLEAN_CHECK(type_ == src.type_);
-  Reserve(size() + rows.size());
+  const size_t old = size();
+  const size_t n = rows.size();
+  const uint32_t* idx = rows.data();
   if (type_ == DataType::kInt64) {
-    for (uint32_t r : rows) ints_.push_back(src.ints_[r]);
+    // resize + indexed stores instead of per-element push_back: join outputs
+    // gather millions of cells, and the capacity check per push_back was the
+    // single largest cost of output assembly.
+    ints_.resize(old + n);
+    int64_t* dst = ints_.data() + old;
+    const int64_t* s = src.ints_.data();
+    for (size_t i = 0; i < n; ++i) dst[i] = s[idx[i]];
   } else {
-    for (uint32_t r : rows) strings_.push_back(src.strings_[r]);
+    strings_.reserve(old + n);
+    for (size_t i = 0; i < n; ++i) strings_.push_back(src.strings_[idx[i]]);
   }
-  for (uint32_t r : rows) valid_.push_back(src.valid_[r]);
+  valid_.resize(old + n);
+  uint8_t* dv = valid_.data() + old;
+  const uint8_t* sv = src.valid_.data();
+  for (size_t i = 0; i < n; ++i) dv[i] = sv[idx[i]];
 }
 
 void Column::AppendNulls(size_t n) {
@@ -66,6 +78,12 @@ void Column::AppendInt64Bulk(const std::vector<int64_t>& values) {
   WICLEAN_CHECK(type_ == DataType::kInt64);
   ints_.insert(ints_.end(), values.begin(), values.end());
   valid_.resize(valid_.size() + values.size(), 1);
+}
+
+size_t Column::ApproxBytes() const {
+  size_t bytes = ints_.size() * sizeof(int64_t) + valid_.size();
+  for (const std::string& s : strings_) bytes += sizeof(std::string) + s.size();
+  return bytes;
 }
 
 Value Column::ValueAt(size_t row) const {

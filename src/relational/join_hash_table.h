@@ -5,9 +5,19 @@
 #include <limits>
 #include <vector>
 
+#include "relational/morsel.h"
 #include "relational/table.h"
 
 namespace wiclean::relational {
+
+/// Software prefetch of one cache line for read. A hint only: expands to
+/// nothing on toolchains without __builtin_prefetch, and correctness never
+/// depends on it.
+#if defined(__GNUC__) || defined(__clang__)
+#define WC_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define WC_PREFETCH_READ(addr) ((void)0)
+#endif
 
 /// Sentinel row index ("no row") used by the columnar join kernels.
 inline constexpr uint32_t kNoRow = std::numeric_limits<uint32_t>::max();
@@ -39,6 +49,25 @@ inline constexpr uint64_t kNullCellHash = 0x9ae16a3b2f90404fULL;
 void HashRowsForKeys(const Table& t, const std::vector<size_t>& cols,
                      std::vector<uint64_t>* hashes,
                      std::vector<uint8_t>* valid);
+
+/// Range-restricted HashRowsForKeys: fills (*hashes)[r] (and (*valid)[r])
+/// only for r in [begin, end). The output vectors must already be sized to
+/// t.num_rows(). Rows are independent, so morsel-parallel callers can hash
+/// disjoint ranges concurrently into one shared output — the result is
+/// bit-identical to a full-range call regardless of partitioning.
+void HashRowsForKeysRange(const Table& t, const std::vector<size_t>& cols,
+                          size_t begin, size_t end,
+                          std::vector<uint64_t>* hashes,
+                          std::vector<uint8_t>* valid);
+
+/// Morsel-parallel HashRowsForKeys: resizes the outputs to t.num_rows() and
+/// fills them by disjoint row ranges scheduled under `policy`. Ranges are
+/// row-independent writes, so the result is bit-identical to HashRowsForKeys
+/// at any thread count or morsel size.
+void HashRowsForKeysMorsel(const MorselPolicy& policy, const Table& t,
+                           const std::vector<size_t>& cols,
+                           std::vector<uint64_t>* hashes,
+                           std::vector<uint8_t>* valid);
 
 /// Flat open-addressing hash table over precomputed 64-bit row hashes:
 /// power-of-two capacity, linear probing, no per-entry allocation (the
@@ -74,9 +103,45 @@ class JoinHashTable {
     return kNoRow;
   }
 
+  /// Vectorized probe: resolves `n` (<= kProbeBatchWidth) hashes in two
+  /// passes. Pass 1 computes every key's home slot and issues a software
+  /// prefetch for its bucket, so the (random) bucket loads of the whole batch
+  /// are in flight together; pass 2 walks the linear-probe runs, which then
+  /// mostly hit cache. out[i] is the first row of hashes[i]'s chain, or
+  /// kNoRow — exactly Probe(hashes[i]), for any input.
+  void ProbeBatch(const uint64_t* hashes, size_t n, uint32_t* out) const {
+    if (size_ == 0) {
+      for (size_t i = 0; i < n; ++i) out[i] = kNoRow;
+      return;
+    }
+    size_t pos[kProbeBatchWidth];
+    for (size_t i = 0; i < n; ++i) {
+      pos[i] = static_cast<size_t>(hashes[i] & mask_);
+      WC_PREFETCH_READ(&slot_hash_[pos[i]]);
+      WC_PREFETCH_READ(&slot_head_[pos[i]]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      size_t p = pos[i];
+      const uint64_t h = hashes[i];
+      uint32_t found = kNoRow;
+      while (slot_head_[p] != kNoRow) {
+        if (slot_hash_[p] == h) {
+          found = slot_head_[p];
+          break;
+        }
+        p = (p + 1) & mask_;
+      }
+      out[i] = found;
+    }
+  }
+
   /// Next row in `row`'s hash chain (ascending for Build; insertion-reversed
   /// for Insert — dedup probes never depend on chain order), or kNoRow.
   uint32_t Next(uint32_t row) const { return next_[row]; }
+
+  /// Prefetches `row`'s chain-link entry so a later Next(row) hits cache.
+  /// Hint only; `row` must be a valid inserted row.
+  void PrefetchNext(uint32_t row) const { WC_PREFETCH_READ(&next_[row]); }
 
   /// Number of rows inserted.
   size_t size() const { return size_; }

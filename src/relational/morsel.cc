@@ -1,0 +1,63 @@
+#include "relational/morsel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace wiclean::relational {
+
+namespace {
+
+size_t MorselCount(size_t total_rows, size_t morsel_rows) {
+  if (total_rows == 0) return 0;
+  return (total_rows + morsel_rows - 1) / morsel_rows;
+}
+
+}  // namespace
+
+MorselScheduler::MorselScheduler(size_t total_rows, size_t morsel_rows)
+    : total_rows_(total_rows),
+      morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows),
+      num_morsels_(MorselCount(total_rows, morsel_rows_)) {}
+
+bool MorselScheduler::Next(Morsel* out) {
+  size_t index;
+  {
+    MutexLock lock(&mu_);
+    if (next_index_ >= num_morsels_) return false;
+    index = next_index_++;
+  }
+  out->index = index;
+  out->begin = index * morsel_rows_;
+  out->end = std::min(out->begin + morsel_rows_, total_rows_);
+  return true;
+}
+
+void RunMorsels(const MorselPolicy& policy, size_t total_rows,
+                const std::function<void(const Morsel&)>& fn) {
+  MorselScheduler scheduler(total_rows,
+                            policy.morsel_rows == 0 ? kDefaultMorselRows
+                                                    : policy.morsel_rows);
+  if (scheduler.num_morsels() == 0) return;
+  const size_t pool_width =
+      policy.pool == nullptr ? 1 : policy.pool->num_threads();
+  if (pool_width <= 1 || scheduler.num_morsels() == 1) {
+    // Serial lane: same claim loop, no thread hop. Morsels arrive in index
+    // order, so this is also the reference order the parallel merge must
+    // reproduce.
+    Morsel m;
+    while (scheduler.Next(&m)) fn(m);
+    return;
+  }
+  const size_t claimers = std::min(pool_width, scheduler.num_morsels());
+  for (size_t i = 0; i < claimers; ++i) {
+    policy.pool->Submit([&scheduler, &fn] {
+      Morsel m;
+      while (scheduler.Next(&m)) fn(m);
+    });
+  }
+  policy.pool->Wait();
+}
+
+}  // namespace wiclean::relational

@@ -1,0 +1,110 @@
+#ifndef WICLEAN_RELATIONAL_MORSEL_H_
+#define WICLEAN_RELATIONAL_MORSEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace wiclean {
+class ThreadPool;
+}  // namespace wiclean
+
+namespace wiclean::relational {
+
+/// Number of keys probed per batch by the vectorized join kernels: positions
+/// are computed and prefetched for the whole batch before any bucket is
+/// resolved, so the memory latency of up to 8 independent cache misses
+/// overlaps instead of serializing.
+inline constexpr size_t kProbeBatchWidth = 8;
+
+/// Default morsel size. Small enough that per-morsel intermediate state
+/// (match-index vectors, local dedup tables) stays cache-resident; large
+/// enough that scheduler claims and per-morsel merges are noise.
+inline constexpr size_t kDefaultMorselRows = 4096;
+
+/// One unit of morsel-parallel work: the half-open row range
+/// [begin, end) of some immutable input table, plus its position in morsel
+/// order. Per-morsel outputs are always merged by ascending `index`, which is
+/// what makes every morsel-parallel kernel byte-identical to its serial run.
+struct Morsel {
+  size_t index = 0;
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t rows() const { return end - begin; }
+};
+
+/// Wall-time per phase of one kernel invocation, filled when a caller hangs
+/// a profile off MorselPolicy. Benchmarks use this to time the probe loop
+/// itself — inside a full join it is amortized against hashing, build, and
+/// output assembly, which hides most of a probe-only optimization.
+struct KernelProfile {
+  double hash_seconds = 0;
+  double build_seconds = 0;
+  double probe_seconds = 0;
+  double assemble_seconds = 0;
+};
+
+/// Execution policy threaded through the relational kernels.
+///
+///  - `pool == nullptr` or `num_threads() == 1`: the kernel runs serially on
+///    the calling thread (morsels are still claimed in order, so the code
+///    path is shared — only the thread hop is skipped).
+///  - `probe_batch == 1`: scalar one-key-at-a-time probing, the PR-3 shape;
+///    kept callable so benchmarks and differential tests can compare lanes.
+///  - `profile != nullptr`: kernels that support it record per-phase wall
+///    times into the struct (overwriting, not accumulating). Never affects
+///    results.
+///
+/// DEADLOCK WARNING: kernels given a pool Submit to it and Wait. ThreadPool
+/// waits cover *all* outstanding tasks, so a morsel-parallel kernel must
+/// never be invoked from inside a task running on the same pool (the miner
+/// therefore partitions its candidate worklist across the pool and runs each
+/// kernel call serially inside a task; see core/miner.cc).
+struct MorselPolicy {
+  ThreadPool* pool = nullptr;
+  size_t morsel_rows = kDefaultMorselRows;
+  size_t probe_batch = kProbeBatchWidth;
+  KernelProfile* profile = nullptr;
+};
+
+/// Hands out morsels of [0, total_rows) in index order to any number of
+/// claiming threads. The cursor is the only shared mutable state and is
+/// lock-protected; the thread-safety contract is compiler-checked via
+/// WC_GUARDED_BY (and covered by wican's unguarded-access pass — see
+/// tools/analyze/testdata/lock_bad_morsel_counter.cc for the seeded-defect
+/// twin of this class).
+class MorselScheduler {
+ public:
+  MorselScheduler(size_t total_rows, size_t morsel_rows);
+
+  /// Claims the next unclaimed morsel. Returns false when all morsels have
+  /// been handed out. Thread-safe; morsel indices are claimed in ascending
+  /// order (which thread gets which index is scheduling-dependent — only the
+  /// *merge* order matters for determinism, and that is by index).
+  bool Next(Morsel* out) WC_EXCLUDES(mu_);
+
+  size_t num_morsels() const { return num_morsels_; }
+
+ private:
+  const size_t total_rows_;
+  const size_t morsel_rows_;
+  const size_t num_morsels_;
+
+  Mutex mu_;
+  size_t next_index_ WC_GUARDED_BY(mu_) = 0;
+};
+
+/// Runs `fn(morsel)` for every morsel of [0, total_rows), on `policy.pool`
+/// when it has more than one thread, inline otherwise. Blocks until every
+/// morsel has run. `fn` must be safe to invoke concurrently for distinct
+/// morsels and must write results only into per-morsel slots (callers merge
+/// those slots in morsel order afterwards).
+void RunMorsels(const MorselPolicy& policy, size_t total_rows,
+                const std::function<void(const Morsel&)>& fn);
+
+}  // namespace wiclean::relational
+
+#endif  // WICLEAN_RELATIONAL_MORSEL_H_

@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 #include "relational/join_hash_table.h"
 
 namespace wiclean::relational {
@@ -141,6 +143,23 @@ class PairPredicate {
     return true;
   }
 
+  /// Prefetches the right-side cells operator() will read for row `r` —
+  /// issued for whole probe batches so the (random-access) column loads of
+  /// several candidate rows are in flight before their predicates run.
+  void PrefetchRight(size_t r) const {
+    for (const ColPair& p : equal_) {
+      if (p.ints) WC_PREFETCH_READ(&p.ri[r]);
+    }
+    for (const ColPair& p : wildcard_) {
+      WC_PREFETCH_READ(&p.rv[r]);
+      if (p.ints) WC_PREFETCH_READ(&p.ri[r]);
+    }
+    for (const ColPair& p : not_equal_) {
+      WC_PREFETCH_READ(&p.rv[r]);
+      if (p.ints) WC_PREFETCH_READ(&p.ri[r]);
+    }
+  }
+
  private:
   struct ColPair {
     const Column* lc = nullptr;
@@ -168,8 +187,77 @@ struct HashJoinResult {
   std::vector<uint8_t> right_matched;
 };
 
+// Probes left rows [begin, end) against `build` and appends matches in
+// (ascending left row, ascending right row) order. probe_batch == 1 is the
+// scalar PR-3 loop; wider batches gather valid keys, resolve their buckets
+// with a prefetched two-pass ProbeBatch, then walk chains — candidate order
+// is unchanged, so both lanes emit identical match lists.
+void ProbeRange(const JoinHashTable& build, const std::vector<uint64_t>& lhash,
+                const std::vector<uint8_t>& lvalid,
+                const PairPredicate& matches, size_t begin, size_t end,
+                size_t probe_batch, std::vector<uint32_t>* lrows,
+                std::vector<uint32_t>* rrows) {
+  if (probe_batch <= 1) {
+    for (size_t l = begin; l < end; ++l) {
+      if (!lvalid[l]) continue;
+      for (uint32_t r = build.Probe(lhash[l]); r != kNoRow;
+           r = build.Next(r)) {
+        if (!matches(l, r)) continue;
+        lrows->push_back(static_cast<uint32_t>(l));
+        rrows->push_back(r);
+      }
+    }
+    return;
+  }
+  const size_t width = std::min(probe_batch, kProbeBatchWidth);
+  uint32_t batch_rows[kProbeBatchWidth];
+  uint64_t batch_hash[kProbeBatchWidth];
+  uint32_t batch_head[kProbeBatchWidth];
+  size_t l = begin;
+  while (l < end) {
+    // Gather the next `width` valid probe keys (null-keyed rows never
+    // match), preserving ascending left-row order.
+    size_t n = 0;
+    while (l < end && n < width) {
+      if (lvalid[l]) {
+        batch_rows[n] = static_cast<uint32_t>(l);
+        batch_hash[n] = lhash[l];
+        ++n;
+      }
+      ++l;
+    }
+    if (n == 0) break;
+    build.ProbeBatch(batch_hash, n, batch_head);
+    // Payload prefetch: the chain heads' predicate cells and link entries for
+    // the whole batch go in flight together, before any chain walk
+    // dereferences them.
+    for (size_t i = 0; i < n; ++i) {
+      if (batch_head[i] != kNoRow) {
+        build.PrefetchNext(batch_head[i]);
+        matches.PrefetchRight(batch_head[i]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const size_t lrow = batch_rows[i];
+      uint32_t r = batch_head[i];
+      while (r != kNoRow) {
+        const uint32_t next = build.Next(r);
+        // One-step-ahead prefetch down the chain overlaps the next
+        // candidate's cell loads with this candidate's predicate.
+        if (next != kNoRow) matches.PrefetchRight(next);
+        if (matches(lrow, r)) {
+          lrows->push_back(static_cast<uint32_t>(lrow));
+          rrows->push_back(r);
+        }
+        r = next;
+      }
+    }
+  }
+}
+
 Result<HashJoinResult> HashJoinCore(const Table& left, const Table& right,
-                                    const JoinSpec& spec, bool track_matches) {
+                                    const JoinSpec& spec, bool track_matches,
+                                    const MorselPolicy& policy) {
   WICLEAN_RETURN_IF_ERROR(ValidateSpec(left, right, spec));
   if (spec.equal_cols.empty()) {
     return Status::InvalidArgument(
@@ -182,31 +270,70 @@ Result<HashJoinResult> HashJoinCore(const Table& left, const Table& right,
     rkeys.push_back(rc);
   }
 
-  // Build on the right input: one combined hash per row, computed columnar,
-  // then a flat table mapping hash -> ascending row chain. Rows with a null
-  // key can never match and are skipped at build/probe time.
+  // Build on the right input: one combined hash per row, computed columnar
+  // (morsel-parallel over disjoint ranges), then a flat table mapping
+  // hash -> ascending row chain. Rows with a null key can never match and
+  // are skipped at build/probe time.
+  Timer phase_timer;
   std::vector<uint64_t> rhash, lhash;
   std::vector<uint8_t> rvalid, lvalid;
-  HashRowsForKeys(right, rkeys, &rhash, &rvalid);
-  HashRowsForKeys(left, lkeys, &lhash, &lvalid);
+  HashRowsForKeysMorsel(policy, right, rkeys, &rhash, &rvalid);
+  HashRowsForKeysMorsel(policy, left, lkeys, &lhash, &lvalid);
+  if (policy.profile != nullptr) {
+    policy.profile->hash_seconds = phase_timer.ElapsedSeconds();
+    phase_timer = Timer();
+  }
   JoinHashTable build;
   build.Build(rhash.data(), rvalid.data(), right.num_rows());
+  if (policy.profile != nullptr) {
+    policy.profile->build_seconds = phase_timer.ElapsedSeconds();
+    phase_timer = Timer();
+  }
 
+  // Morsel-parallel probe over the shared immutable build side: each morsel
+  // emits its own match lists, which are concatenated in morsel order below —
+  // byte-identical to the serial probe at any thread count.
   PairPredicate matches(left, right, spec);
   std::vector<uint32_t> lrows, rrows;
-  for (size_t l = 0; l < left.num_rows(); ++l) {
-    if (!lvalid[l]) continue;
-    for (uint32_t r = build.Probe(lhash[l]); r != kNoRow; r = build.Next(r)) {
-      if (!matches(l, r)) continue;
-      lrows.push_back(static_cast<uint32_t>(l));
-      rrows.push_back(r);
+  const size_t pool_width =
+      policy.pool == nullptr ? 1 : policy.pool->num_threads();
+  if (pool_width <= 1) {
+    // Serial fast path: one logical morsel, matches written straight into
+    // the output lists (no per-morsel slots to concatenate).
+    ProbeRange(build, lhash, lvalid, matches, 0, left.num_rows(),
+               policy.probe_batch, &lrows, &rrows);
+  } else {
+    MorselScheduler layout(left.num_rows(), policy.morsel_rows);
+    std::vector<std::vector<uint32_t>> morsel_lrows(layout.num_morsels());
+    std::vector<std::vector<uint32_t>> morsel_rrows(layout.num_morsels());
+    RunMorsels(policy, left.num_rows(), [&](const Morsel& m) {
+      ProbeRange(build, lhash, lvalid, matches, m.begin, m.end,
+                 policy.probe_batch, &morsel_lrows[m.index],
+                 &morsel_rrows[m.index]);
+    });
+    size_t total_matches = 0;
+    for (const auto& v : morsel_lrows) total_matches += v.size();
+    lrows.reserve(total_matches);
+    rrows.reserve(total_matches);
+    for (size_t i = 0; i < morsel_lrows.size(); ++i) {
+      lrows.insert(lrows.end(), morsel_lrows[i].begin(),
+                   morsel_lrows[i].end());
+      rrows.insert(rrows.end(), morsel_rrows[i].begin(),
+                   morsel_rrows[i].end());
     }
   }
 
+  if (policy.profile != nullptr) {
+    policy.profile->probe_seconds = phase_timer.ElapsedSeconds();
+    phase_timer = Timer();
+  }
   HashJoinResult result{Table(ConcatSchemas(left.schema(), right.schema())),
                         {},
                         {}};
   result.output.AppendConcatGather(left, lrows, right, rrows);
+  if (policy.profile != nullptr) {
+    policy.profile->assemble_seconds = phase_timer.ElapsedSeconds();
+  }
   if (track_matches) {
     result.left_matched.assign(left.num_rows(), 0);
     result.right_matched.assign(right.num_rows(), 0);
@@ -229,8 +356,13 @@ std::vector<uint32_t> UnmatchedRows(const std::vector<uint8_t>& matched) {
 
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const JoinSpec& spec) {
+  return HashJoin(left, right, spec, MorselPolicy{});
+}
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const JoinSpec& spec, const MorselPolicy& policy) {
   WICLEAN_ASSIGN_OR_RETURN(HashJoinResult core,
-                           HashJoinCore(left, right, spec, false));
+                           HashJoinCore(left, right, spec, false, policy));
   return std::move(core.output);
 }
 
@@ -258,7 +390,8 @@ Result<Table> FullOuterJoin(const Table& left, const Table& right,
 
   if (!spec.equal_cols.empty() && !spec.prefer_nested_loop) {
     WICLEAN_ASSIGN_OR_RETURN(HashJoinResult core,
-                             HashJoinCore(left, right, spec, true));
+                             HashJoinCore(left, right, spec, true,
+                                          MorselPolicy{}));
     out = std::move(core.output);
     left_matched = std::move(core.left_matched);
     right_matched = std::move(core.right_matched);

@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/miner.h"
 #include "core/realization_join.h"
+#include "relational/join_hash_table.h"
+#include "relational/morsel.h"
 #include "relational/ops.h"
 #include "relational/reference_join.h"
 #include "relational/table.h"
@@ -364,6 +367,158 @@ INSTANTIATE_TEST_SUITE_P(
                       RealizationCase{17, 150, 150, 2, 3}));
 
 // ---------------------------------------------------------------------------
+// Vectorized probing and morsel-parallel execution. ProbeBatch must be
+// pointwise Probe for any batch, and every kernel run under an explicit
+// MorselPolicy must be byte-identical to its serial default at every thread
+// count × morsel size × batch width — the determinism contract the parallel
+// miner builds on.
+
+TEST(ProbeBatchTest, MatchesScalarProbePointwise) {
+  Rng rng(4242);
+  for (size_t build_rows : {size_t{0}, size_t{1}, size_t{5}, size_t{64},
+                            size_t{777}}) {
+    // A small hash domain forces shared chains and long linear-probe runs —
+    // the cases where a two-pass batched walk could diverge from Probe.
+    std::vector<uint64_t> hashes(build_rows);
+    std::vector<uint8_t> valid(build_rows);
+    for (size_t r = 0; r < build_rows; ++r) {
+      hashes[r] = rel::MixInt64(static_cast<int64_t>(rng.NextBelow(97)));
+      valid[r] = rng.NextBelow(100) < 85 ? 1 : 0;
+    }
+    rel::JoinHashTable ht;
+    ht.Build(hashes.data(), valid.data(), build_rows);
+
+    for (size_t n = 1; n <= rel::kProbeBatchWidth; ++n) {
+      for (int rep = 0; rep < 32; ++rep) {
+        uint64_t batch[rel::kProbeBatchWidth];
+        uint32_t out[rel::kProbeBatchWidth];
+        for (size_t i = 0; i < n; ++i) {
+          // Mix present hashes (including ones built from invalid rows, which
+          // must still resolve exactly like Probe) with absent ones.
+          batch[i] = build_rows > 0 && rng.NextBelow(2) == 0
+                         ? hashes[rng.NextBelow(build_rows)]
+                         : rel::MixInt64(static_cast<int64_t>(
+                               1000 + rng.NextBelow(1000)));
+        }
+        ht.ProbeBatch(batch, n, out);
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i], ht.Probe(batch[i]))
+              << "build_rows " << build_rows << " n " << n << " i " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(JoinKernelTest, MorselPolicyJoinIsByteIdenticalToDefault) {
+  const KernelCase& c = GetParam();
+  Rng rng(c.seed ^ 0x5151);
+  rel::Table left = RandomMixedTable(&rng, c.left_rows, c.domain, c.null_pct);
+  rel::Table right =
+      RandomMixedTable(&rng, c.right_rows, c.domain, c.null_pct);
+
+  std::vector<std::vector<std::string>> expected;
+  for (const rel::JoinSpec& spec : SpecZoo()) {
+    Result<rel::Table> serial = rel::HashJoin(left, right, spec);
+    ASSERT_TRUE(serial.ok());
+    expected.push_back(RowList(*serial));
+  }
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    ThreadPool pool(threads);
+    // morsel_rows 7 splits even the small tables into many odd-sized morsels;
+    // probe_batch 1 exercises the scalar lane under the morsel scheduler.
+    for (size_t morsel_rows : {size_t{7}, size_t{64}}) {
+      for (size_t batch : {size_t{1}, size_t{8}}) {
+        rel::MorselPolicy policy;
+        policy.pool = &pool;
+        policy.morsel_rows = morsel_rows;
+        policy.probe_batch = batch;
+        size_t si = 0;
+        for (const rel::JoinSpec& spec : SpecZoo()) {
+          Result<rel::Table> m = rel::HashJoin(left, right, spec, policy);
+          ASSERT_TRUE(m.ok());
+          EXPECT_EQ(RowList(*m), expected[si])
+              << "seed " << c.seed << " threads " << threads << " morsel "
+              << morsel_rows << " batch " << batch << " spec " << si;
+          ++si;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RealizationJoinTest, MorselPolicyFusedJoinMatchesDefault) {
+  const RealizationCase& c = GetParam();
+  constexpr int64_t kHorizon = 1000;
+  Rng rng(c.seed ^ 0x2727);
+  rel::Table left =
+      RandomRealizationTable(&rng, c.left_rows, c.num_vars, c.domain,
+                             kHorizon);
+  rel::Table right =
+      RandomActionTable(&rng, c.right_rows, c.domain, kHorizon);
+
+  RealizationJoinSpec rs;
+  rs.num_left_vars = c.num_vars;
+  rs.glue_source_col = 0;
+  rs.glue_target_col = -1;
+  for (size_t k = 0; k < c.num_vars; ++k) rs.distinct_from_target.push_back(k);
+  rs.max_span = 800;
+
+  for (bool dedup : {false, true}) {
+    rs.dedup_keep_tightest = dedup;
+    const size_t out_vars = c.num_vars + 1;
+    Result<rel::Table> serial =
+        JoinRealizations(left, right, VarSchema(out_vars, "v"), rs);
+    ASSERT_TRUE(serial.ok());
+    const std::vector<std::string> expect = RowList(*serial);
+
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      ThreadPool pool(threads);
+      for (size_t morsel_rows : {size_t{16}, size_t{64}}) {
+        for (size_t batch : {size_t{1}, size_t{8}}) {
+          rel::MorselPolicy policy;
+          policy.pool = &pool;
+          policy.morsel_rows = morsel_rows;
+          policy.probe_batch = batch;
+          Result<rel::Table> m = JoinRealizations(
+              left, right, VarSchema(out_vars, "v"), rs, policy);
+          ASSERT_TRUE(m.ok());
+          EXPECT_EQ(RowList(*m), expect)
+              << "seed " << c.seed << " dedup " << dedup << " threads "
+              << threads << " morsel " << morsel_rows << " batch " << batch;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RealizationJoinTest, MorselPolicyDedupMatchesDefault) {
+  const RealizationCase& c = GetParam();
+  Rng rng(c.seed ^ 0x9b9b);
+  // Small domain forces duplicate assignments split across morsel boundaries,
+  // so the merge must reconcile representatives found in different morsels.
+  rel::Table input =
+      RandomRealizationTable(&rng, c.left_rows * 4, c.num_vars, c.domain,
+                             200);
+  rel::Table serial = DedupKeepTightest(input, c.num_vars);
+  const std::vector<std::string> expect = RowList(serial);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    ThreadPool pool(threads);
+    for (size_t morsel_rows : {size_t{16}, size_t{64}}) {
+      rel::MorselPolicy policy;
+      policy.pool = &pool;
+      policy.morsel_rows = morsel_rows;
+      rel::Table m = DedupKeepTightest(input, c.num_vars, policy);
+      EXPECT_EQ(RowList(m), expect)
+          << "seed " << c.seed << " threads " << threads << " morsel "
+          << morsel_rows;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: the fused PM path must reproduce the PM−join ablation's mining
 // output exactly (patterns, frequencies, supports, in order) on a synthetic
 // soccer world — the "no silent behavior change" guarantee for the rewrite.
@@ -415,6 +570,54 @@ TEST(MineWindowIdentityTest, FusedHashPathMatchesNestedLoopPath) {
         << "week " << week;
     EXPECT_EQ(h->stats.candidates_considered, n->stats.candidates_considered)
         << "week " << week;
+  }
+}
+
+// Whole-mine output must be invariant under the miner's thread count: the
+// generational candidate evaluation commits results in enumeration order, so
+// patterns, frequencies, supports, and the candidate counter all match the
+// serial run digest-for-digest.
+TEST(MineWindowIdentityTest, OutputInvariantUnderMineThreadCount) {
+  SynthOptions o;
+  o.seed_entities = 30;
+  o.years = 1;
+  o.rng_seed = 21;
+  o.soccer = true;
+  o.background_entities = 60;
+  o.background_edit_rate = 2.0;
+  Result<SynthWorld> world = Synthesize(o);
+  ASSERT_TRUE(world.ok());
+
+  MinerOptions base;
+  base.frequency_threshold = 0.3;
+  base.max_pattern_actions = 4;
+
+  for (int week : {10, 16}) {
+    TimeWindow window = world->WindowOf(week);
+    MinerOptions serial_opts = base;
+    serial_opts.num_threads = 1;
+    PatternMiner serial_miner(world->registry.get(), &world->store,
+                              serial_opts);
+    Result<MineWindowResult> s =
+        serial_miner.MineWindow(world->types.soccer_player, window);
+    ASSERT_TRUE(s.ok());
+
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      MinerOptions opts = base;
+      opts.num_threads = threads;
+      PatternMiner miner(world->registry.get(), &world->store, opts);
+      Result<MineWindowResult> r =
+          miner.MineWindow(world->types.soccer_player, window);
+      ASSERT_TRUE(r.ok());
+
+      EXPECT_EQ(Signature(r->all_frequent), Signature(s->all_frequent))
+          << "week " << week << " threads " << threads;
+      EXPECT_EQ(Signature(r->most_specific), Signature(s->most_specific))
+          << "week " << week << " threads " << threads;
+      EXPECT_EQ(r->stats.candidates_considered,
+                s->stats.candidates_considered)
+          << "week " << week << " threads " << threads;
+    }
   }
 }
 

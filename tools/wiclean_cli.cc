@@ -297,6 +297,13 @@ Result<WindowSearchResult> RunSearch(const LoadedCorpus& corpus,
       static_cast<int>(args.GetInt("abstraction-lift", 1));
   options.miner.max_pattern_actions =
       static_cast<size_t>(args.GetInt("max-actions", 6));
+  // Mining-internal parallelism (candidate evaluation); output is invariant
+  // under this knob. Distinct from --threads, which parallelizes ingest.
+  options.miner.num_threads =
+      static_cast<size_t>(args.GetInt("mine-threads", 1));
+  options.miner.profile_workingset =
+      args.Get("profile-workingset", "") == "1" ||
+      args.Get("profile-workingset", "") == "true";
   options.mine_relative = true;
   WindowSearch search(corpus.registry.get(), &corpus.store, options);
   return search.Run(corpus.seed_type, corpus.begin, corpus.end);
@@ -755,7 +762,13 @@ int Usage() {
                "replay it (no XML,\n"
                "         no wikitext, identical store at any --threads)\n"
                "  mine   --dump F --taxonomy F --alignment F --seed-type T "
-               "[--threshold X] [--json F] [--threads N] [ingest flags]\n"
+               "[--threshold X] [--json F] [--threads N] [--mine-threads N] "
+               "[--profile-workingset 1] [ingest flags]\n"
+               "         --mine-threads parallelizes candidate evaluation "
+               "(output invariant);\n"
+               "         --profile-workingset adds per-kernel touched-bytes "
+               "and table\n"
+               "         birth/death counters to the report's stats JSON\n"
                "  detect --dump F --taxonomy F --alignment F --seed-type T "
                "[--threshold X] [--csv F] [--json F] [--max-print N] "
                "[--threads N] [ingest flags]\n"
