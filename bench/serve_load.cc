@@ -1,0 +1,413 @@
+// Multi-tenant serving load benchmark: drive a DetectorService with bursty
+// per-tenant arrivals while snapshots hot-swap under the traffic.
+//
+// Measures, into BENCH_serve_load.json:
+//   - aggregate throughput (accepted actions/sec across all tenants),
+//   - alert finalize latency p50/p99 over every tenant's alerts,
+//   - admission/overload behavior: events shed by the per-tenant deadline
+//     gate and the retries the driver paid to redeliver them,
+//   - epoch lifecycle under churn: snapshots published / retired / freed
+//     while sessions were live,
+// and self-verifies: every tenant's alert set must be order-normalized
+// identical to a batch replay of the tenant's *pinned* epoch, and every
+// retired epoch must be refcount-drained and freed. Exits non-zero on any
+// digest mismatch or leaked epoch.
+//
+// A shed event is delivered nowhere (the admission gate is all-or-nothing),
+// so the driver retries it until accepted: load shedding is exercised and
+// counted without breaking exactly-once delivery — which is what keeps the
+// digests comparable to batch.
+//
+// Usage: serve_load [seed_entities] [output.json]
+//   seed_entities  soccer-domain seed count (default 120)
+//   output.json    result file (default: BENCH_serve_load.json in the CWD)
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/hash.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "core/partial.h"
+#include "core/window_search.h"
+#include "serve/detector_service.h"
+#include "serve/pattern_store.h"
+
+using namespace wiclean;
+using namespace wiclean::bench;
+
+namespace {
+
+/// Order-normalized fingerprint of one pattern's detection result.
+std::string ReportFingerprint(const PartialUpdateReport& report) {
+  std::vector<std::string> sigs;
+  sigs.reserve(report.partials.size());
+  for (const PartialRealization& pr : report.partials) {
+    sigs.push_back(pr.Signature());
+  }
+  std::sort(sigs.begin(), sigs.end());
+  std::string out = "full=" + std::to_string(report.full_count);
+  for (const std::string& s : sigs) {
+    out += '|';
+    out += s;
+  }
+  return out;
+}
+
+std::vector<std::pair<Action, uint64_t>> BuildCanonicalFeed(
+    const EntityRegistry& registry, const RevisionStore& store) {
+  std::vector<std::pair<Action, uint64_t>> events;
+  for (EntityId e = 0; e < static_cast<EntityId>(registry.size()); ++e) {
+    for (const Action& a : store.LogOf(e)) {
+      events.emplace_back(a, static_cast<uint64_t>(events.size()));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.time < b.first.time;
+                   });
+  return events;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SynthOptions synth;
+  synth.seed_entities = SizeArg(argc, argv, 120);
+  synth.years = 2;
+  synth.rng_seed = 2024;
+  const char* out_path = argc > 2 ? argv[2] : "BENCH_serve_load.json";
+
+  constexpr size_t kTenants = 4;
+  constexpr size_t kShardsPerTenant = 2;
+  constexpr size_t kReloads = 3;
+
+  Result<SynthWorld> world_or = Synthesize(synth);
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "%s\n", world_or.status().ToString().c_str());
+    return 1;
+  }
+  SynthWorld world = std::move(world_or).value();
+  std::printf("soccer corpus: %zu seeds, %zu entities, %zu revision "
+              "actions\n",
+              synth.seed_entities, world.registry->size(),
+              world.store.num_actions());
+
+  // Mine epoch A; epoch B is the even-indexed subset — a genuinely different
+  // pattern set so a session pinned to the wrong epoch cannot match.
+  constexpr int kLift = 1;
+  PatternSnapshot snapshot_a;
+  snapshot_a.provenance.corpus_id =
+      "synth:soccer:seeds=" + std::to_string(synth.seed_entities);
+  snapshot_a.provenance.tool = "bench/serve_load";
+  snapshot_a.provenance.frequency_threshold = 0.8;
+  snapshot_a.provenance.max_abstraction_lift = kLift;
+  snapshot_a.provenance.max_pattern_actions = 6;
+  snapshot_a.provenance.mine_relative = true;
+  {
+    WindowSearchOptions options;
+    options.initial_threshold = snapshot_a.provenance.frequency_threshold;
+    options.miner.max_abstraction_lift = kLift;
+    options.miner.max_pattern_actions = 6;
+    options.mine_relative = true;
+    WindowSearch search(world.registry.get(), &world.store, options);
+    Result<WindowSearchResult> result =
+        search.Run(world.types.soccer_player, 0, kSecondsPerYear);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    for (const DiscoveredPattern& dp : result->patterns) {
+      if (dp.mined.pattern.num_actions() < 2) continue;
+      snapshot_a.patterns.push_back({dp.mined.pattern, dp.mined.window,
+                                     dp.mined.frequency, dp.mined.support,
+                                     dp.threshold});
+    }
+  }
+  if (snapshot_a.patterns.empty()) {
+    std::fprintf(stderr, "no patterns mined — corpus too small\n");
+    return 1;
+  }
+  PatternSnapshot snapshot_b;
+  snapshot_b.provenance = snapshot_a.provenance;
+  snapshot_b.provenance.corpus_id += ":even-subset";
+  for (size_t i = 0; i < snapshot_a.patterns.size(); i += 2) {
+    snapshot_b.patterns.push_back(snapshot_a.patterns[i]);
+  }
+
+  // Batch baselines, one fingerprint vector per epoch flavor.
+  PartialDetectorOptions detector_options;
+  detector_options.max_abstraction_lift = kLift;
+  PartialUpdateDetector batch(world.registry.get(), &world.store,
+                              detector_options);
+  std::vector<std::string> batch_a;
+  Timer timer;
+  for (const StoredPattern& sp : snapshot_a.patterns) {
+    Result<PartialUpdateReport> report = batch.Detect(sp.pattern, sp.window);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    batch_a.push_back(ReportFingerprint(*report));
+  }
+  double batch_seconds = timer.ElapsedSeconds();
+  std::vector<std::string> batch_b;
+  for (size_t i = 0; i < batch_a.size(); i += 2) {
+    batch_b.push_back(batch_a[i]);
+  }
+  std::printf("mined %zu pattern(s) (epoch B keeps %zu); batch sweep "
+              "%.3fs\n",
+              snapshot_a.patterns.size(), snapshot_b.patterns.size(),
+              batch_seconds);
+
+  std::vector<std::pair<Action, uint64_t>> feed =
+      BuildCanonicalFeed(*world.registry, world.store);
+
+  // The service under test: bounded tenants, per-tenant quotas, a real
+  // deadline so the overload path is live.
+  DetectorServiceOptions service_options;
+  service_options.max_tenants = kTenants;
+  service_options.shards_per_tenant = kShardsPerTenant;
+  service_options.tenant_queue_capacity = 64;
+  service_options.feed_deadline_ms = 50;
+  service_options.detector.detector = detector_options;
+  DetectorService service(world.registry.get(), service_options);
+
+  // epoch id -> which batch baseline it must reproduce.
+  std::vector<const std::vector<std::string>*> expected_by_epoch(1, nullptr);
+  auto publish = [&](bool use_b) {
+    EpochId epoch = service.PublishSnapshot(use_b ? snapshot_b : snapshot_a);
+    expected_by_epoch.resize(epoch + 1, nullptr);
+    expected_by_epoch[epoch] = use_b ? &batch_b : &batch_a;
+    return epoch;
+  };
+  publish(/*use_b=*/false);
+
+  struct TenantStream {
+    TenantId id = 0;
+    size_t next = 0;  // next feed index to deliver
+  };
+  std::vector<TenantStream> streams(kTenants);
+  size_t opened = 0;
+  auto open_next = [&]() -> bool {
+    Result<TenantId> session = service.OpenSession();
+    if (!session.ok()) {
+      std::fprintf(stderr, "open %zu failed: %s\n", opened,
+                   session.status().ToString().c_str());
+      return false;
+    }
+    streams[opened].id = *session;
+    ++opened;
+    return true;
+  };
+  if (!open_next()) return 1;
+
+  // Bursty interleave: splitmix64 picks an open tenant with events remaining
+  // and delivers a burst of 1..32 of its events, so queue pressure swings
+  // between tenants instead of round-robin trickling. Reload j swaps the
+  // snapshot when total delivery crosses total*(j+1)/(kReloads+1); tenant i
+  // opens when delivery crosses total*i/kTenants — the thresholds interleave
+  // so later tenants pin hot-swapped epochs and the verification spans a
+  // *mixed* epoch population.
+  uint64_t rng = 0x5eedf00d2024ull;
+  const uint64_t total_events = feed.size() * kTenants;
+  uint64_t delivered = 0;
+  uint64_t shed_retries = 0;
+  size_t reloads_done = 0;
+  Timer wall;
+  while (delivered < total_events) {
+    if (reloads_done < kReloads &&
+        delivered >= total_events * (reloads_done + 1) / (kReloads + 1)) {
+      publish(/*use_b=*/reloads_done % 2 == 0);
+      ++reloads_done;
+    }
+    if (opened < kTenants && delivered >= total_events * opened / kTenants) {
+      if (!open_next()) return 1;
+    }
+    bool any_open_remaining = false;
+    for (size_t t = 0; t < opened; ++t) {
+      any_open_remaining = any_open_remaining ||
+                           streams[t].next < feed.size();
+    }
+    if (!any_open_remaining) {
+      // Every open stream is drained but unopened tenants still owe events:
+      // admit the next one early rather than spin.
+      if (opened >= kTenants || !open_next()) return 1;
+      continue;
+    }
+    TenantStream* pick = nullptr;
+    // Rejection-sample an open tenant that still has events; bounded
+    // because at least one does (checked above).
+    while (pick == nullptr) {
+      TenantStream& candidate = streams[SplitMix64(&rng) % opened];
+      if (candidate.next < feed.size()) pick = &candidate;
+    }
+    size_t burst = 1 + SplitMix64(&rng) % 32;
+    for (; burst > 0 && pick->next < feed.size(); --burst) {
+      FeedResult r = service.Feed(pick->id, feed[pick->next].first);
+      if (r == FeedResult::kOverloaded) {
+        ++shed_retries;  // redeliver the same event (exactly-once overall)
+        continue;
+      }
+      if (r != FeedResult::kOk) {
+        std::fprintf(stderr, "tenant %llu feed failed at event %zu\n",
+                     static_cast<unsigned long long>(pick->id), pick->next);
+        return 1;
+      }
+      ++pick->next;
+      ++delivered;
+    }
+  }
+
+  // Drain every tenant and verify each against its pinned epoch's baseline.
+  bool all_match = true;
+  std::vector<double> latencies;
+  uint64_t total_alerts = 0;
+  for (TenantStream& stream : streams) {
+    Result<TenantReport> report = service.CloseSession(stream.id);
+    if (!report.ok()) {
+      std::fprintf(stderr, "close failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    const std::vector<std::string>* expected =
+        report->epoch < expected_by_epoch.size()
+            ? expected_by_epoch[report->epoch]
+            : nullptr;
+    if (expected == nullptr) {
+      std::fprintf(stderr, "tenant %llu pinned unknown epoch %llu\n",
+                   static_cast<unsigned long long>(report->tenant),
+                   static_cast<unsigned long long>(report->epoch));
+      return 1;
+    }
+    bool match = report->session.alerts.size() == expected->size();
+    for (size_t i = 0; match && i < expected->size(); ++i) {
+      match = report->session.alerts[i].pattern_id == i &&
+              ReportFingerprint(report->session.alerts[i].report) ==
+                  (*expected)[i];
+    }
+    if (!match) {
+      std::fprintf(stderr,
+                   "MISMATCH: tenant %llu (epoch %llu) diverges from its "
+                   "pinned epoch's batch replay\n",
+                   static_cast<unsigned long long>(report->tenant),
+                   static_cast<unsigned long long>(report->epoch));
+      all_match = false;
+    }
+    total_alerts += report->session.alerts.size();
+    for (const OnlineAlert& alert : report->session.alerts) {
+      latencies.push_back(alert.finalize_seconds);
+    }
+  }
+  double wall_seconds = wall.ElapsedSeconds();
+
+  // Epoch quiescence: only the current epoch may survive, nothing pinned,
+  // every retired snapshot actually destroyed.
+  SnapshotRegistryStats epochs = service.registry_stats();
+  if (epochs.outstanding_pins != 0 || epochs.live_epochs != 1 ||
+      epochs.snapshots_freed != epochs.epochs_retired ||
+      epochs.epochs_retired + 1 != epochs.epochs_published) {
+    std::fprintf(stderr, "LEAK: epochs published=%llu retired=%llu "
+                         "freed=%llu live=%llu pins=%llu\n",
+                 static_cast<unsigned long long>(epochs.epochs_published),
+                 static_cast<unsigned long long>(epochs.epochs_retired),
+                 static_cast<unsigned long long>(epochs.snapshots_freed),
+                 static_cast<unsigned long long>(epochs.live_epochs),
+                 static_cast<unsigned long long>(epochs.outstanding_pins));
+    all_match = false;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+  const double actions_per_second =
+      wall_seconds > 0 ? static_cast<double>(total_events) / wall_seconds : 0;
+  DetectorServiceStats stats = service.stats();
+  std::printf(
+      "served %llu event(s) to %zu tenant(s) in %.3fs (%.0f actions/s), "
+      "%zu reload(s), %llu shed, %llu alert(s), finalize p50 %.2fms p99 "
+      "%.2fms, epochs %llu published / %llu freed, digests: %s\n",
+      static_cast<unsigned long long>(total_events), kTenants, wall_seconds,
+      actions_per_second, reloads_done,
+      static_cast<unsigned long long>(shed_retries),
+      static_cast<unsigned long long>(total_alerts), 1e3 * p50, 1e3 * p99,
+      static_cast<unsigned long long>(epochs.epochs_published),
+      static_cast<unsigned long long>(epochs.snapshots_freed),
+      all_match ? "batch-identical" : "MISMATCH");
+
+  std::ofstream file(out_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  JsonWriter w(&file, /*pretty=*/true);
+  w.BeginObject();
+  w.Key("bench");
+  w.String("serve_load");
+  w.Key("seed_entities");
+  w.Int(static_cast<int64_t>(synth.seed_entities));
+  w.Key("tenants");
+  w.Int(static_cast<int64_t>(kTenants));
+  w.Key("shards_per_tenant");
+  w.Int(static_cast<int64_t>(kShardsPerTenant));
+  w.Key("tenant_queue_capacity");
+  w.Int(static_cast<int64_t>(service_options.tenant_queue_capacity));
+  w.Key("feed_deadline_ms");
+  w.Int(service_options.feed_deadline_ms);
+  w.Key("feed_events_per_tenant");
+  w.Int(static_cast<int64_t>(feed.size()));
+  w.Key("total_events");
+  w.Int(static_cast<int64_t>(total_events));
+  w.Key("patterns_epoch_a");
+  w.Int(static_cast<int64_t>(snapshot_a.patterns.size()));
+  w.Key("patterns_epoch_b");
+  w.Int(static_cast<int64_t>(snapshot_b.patterns.size()));
+  w.Key("reloads");
+  w.Int(static_cast<int64_t>(reloads_done));
+  w.Key("batch_sweep_seconds");
+  w.Number(batch_seconds);
+  w.Key("wall_seconds");
+  w.Number(wall_seconds);
+  w.Key("actions_per_second");
+  w.Number(actions_per_second);
+  w.Key("alerts");
+  w.Int(static_cast<int64_t>(total_alerts));
+  w.Key("alert_latency_p50_seconds");
+  w.Number(p50);
+  w.Key("alert_latency_p99_seconds");
+  w.Number(p99);
+  w.Key("events_accepted");
+  w.Int(static_cast<int64_t>(stats.events_accepted));
+  w.Key("events_shed");
+  w.Int(static_cast<int64_t>(stats.events_shed));
+  w.Key("shed_retries");
+  w.Int(static_cast<int64_t>(shed_retries));
+  w.Key("epochs");
+  w.BeginObject();
+  w.Key("published");
+  w.Int(static_cast<int64_t>(epochs.epochs_published));
+  w.Key("retired");
+  w.Int(static_cast<int64_t>(epochs.epochs_retired));
+  w.Key("freed");
+  w.Int(static_cast<int64_t>(epochs.snapshots_freed));
+  w.EndObject();
+  w.Key("digests_match");
+  w.Bool(all_match);
+  w.EndObject();
+  file << "\n";
+
+  return all_match ? 0 : 1;
+}

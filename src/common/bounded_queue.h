@@ -1,6 +1,7 @@
 #ifndef WICLEAN_COMMON_BOUNDED_QUEUE_H_
 #define WICLEAN_COMMON_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <utility>
@@ -52,6 +53,30 @@ class BoundedQueue {
     return true;
   }
 
+  /// Push with a deadline — the admission-control primitive. Waits at most
+  /// `timeout` for space; returns false if the queue stayed full for the
+  /// whole window (the caller's explicit-overload signal), or if the queue
+  /// was closed or cancelled. Spurious-wake safe: the predicate is re-checked
+  /// against a fixed steady_clock deadline, so an early wakeup just waits for
+  /// the remainder. A zero or negative timeout degrades to a non-blocking
+  /// try-push.
+  bool TryPushFor(T item, std::chrono::milliseconds timeout)
+      WC_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      MutexLock lock(&mu_);
+      while (!(closed_ || cancelled_ || items_.size() < capacity_)) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        not_full_.WaitFor(&mu_, deadline - now);
+      }
+      if (closed_ || cancelled_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
+    return true;
+  }
+
   /// Blocks while the queue is empty and still open. Returns true with *out
   /// filled, or false when the queue is cancelled or closed-and-drained.
   bool Pop(T* out) WC_EXCLUDES(mu_) {
@@ -59,6 +84,27 @@ class BoundedQueue {
       MutexLock lock(&mu_);
       while (!(cancelled_ || closed_ || !items_.empty())) {
         not_empty_.Wait(&mu_);
+      }
+      if (cancelled_ || items_.empty()) return false;  // closed and drained
+      *out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
+    return true;
+  }
+
+  /// Pop with a deadline. Waits at most `timeout` for an item; returns false
+  /// if the queue stayed empty for the whole window, was cancelled, or was
+  /// closed and drained. Same fixed-deadline predicate loop as TryPushFor.
+  bool TryPopFor(T* out, std::chrono::milliseconds timeout)
+      WC_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      MutexLock lock(&mu_);
+      while (!(cancelled_ || closed_ || !items_.empty())) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        not_empty_.WaitFor(&mu_, deadline - now);
       }
       if (cancelled_ || items_.empty()) return false;  // closed and drained
       *out = std::move(items_.front());

@@ -1,6 +1,7 @@
 #ifndef WICLEAN_COMMON_MUTEX_H_
 #define WICLEAN_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -67,6 +68,18 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // the caller's scope still owns the re-acquired lock
+  }
+
+  /// Timed wait: releases *mu and blocks until notified or `timeout` elapses,
+  /// then reacquires the lock. Returns false only on timeout. Spurious
+  /// wakeups return true, exactly like plain Wait — callers must re-check
+  /// their predicate in a loop and recompute the remaining timeout from a
+  /// fixed deadline (see BoundedQueue::TryPushFor for the canonical shape).
+  bool WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) WC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();  // the caller's scope still owns the re-acquired lock
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -29,17 +29,22 @@ OnlineDetector::OnlineDetector(const EntityRegistry* registry,
       options_(options),
       index_(&registry->taxonomy(), options.detector.max_abstraction_lift) {}
 
-Status OnlineDetector::LoadPatterns(const PatternSnapshot& snapshot) {
-  if (!patterns_.empty()) {
+Status OnlineDetector::LoadPatterns(
+    std::shared_ptr<const PatternSnapshot> snapshot) {
+  if (!patterns_.empty() || snapshot_ != nullptr) {
     return Status::FailedPrecondition("patterns already loaded");
+  }
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("null snapshot");
   }
   if (options_.num_shards == 0 ||
       options_.shard_index >= options_.num_shards) {
     return Status::InvalidArgument("invalid shard configuration");
   }
-  for (size_t i = 0; i < snapshot.patterns.size(); ++i) {
+  snapshot_ = std::move(snapshot);
+  for (size_t i = 0; i < snapshot_->patterns.size(); ++i) {
     if (i % options_.num_shards != options_.shard_index) continue;
-    const StoredPattern& sp = snapshot.patterns[i];
+    const StoredPattern& sp = snapshot_->patterns[i];
     if (sp.pattern.num_actions() == 0 || !sp.pattern.IsConnected()) {
       return Status::InvalidArgument(
           "snapshot pattern " + std::to_string(i) +
@@ -49,7 +54,7 @@ Status OnlineDetector::LoadPatterns(const PatternSnapshot& snapshot) {
         index_.AddPattern(static_cast<uint32_t>(i), sp.pattern));
     PatternState state;
     state.id = static_cast<uint32_t>(i);
-    state.stored = sp;
+    state.stored = &sp;
     patterns_.push_back(std::move(state));
   }
   expiry_order_.resize(patterns_.size());
@@ -58,12 +63,16 @@ Status OnlineDetector::LoadPatterns(const PatternSnapshot& snapshot) {
             [this](size_t a, size_t b) {
               const PatternState& pa = patterns_[a];
               const PatternState& pb = patterns_[b];
-              if (pa.stored.window.end != pb.stored.window.end) {
-                return pa.stored.window.end < pb.stored.window.end;
+              if (pa.stored->window.end != pb.stored->window.end) {
+                return pa.stored->window.end < pb.stored->window.end;
               }
               return pa.id < pb.id;
             });
   return Status::OK();
+}
+
+Status OnlineDetector::LoadPatterns(const PatternSnapshot& snapshot) {
+  return LoadPatterns(std::make_shared<const PatternSnapshot>(snapshot));
 }
 
 bool OnlineDetector::TypeWithinLift(TypeId concrete, TypeId general) const {
@@ -102,7 +111,7 @@ Status OnlineDetector::Observe(const Action& action, uint64_t sequence,
       }
       routed.push_back(slot.pattern_id);
       PatternState& state = patterns_[slot.pattern_id / options_.num_shards];
-      if (!state.stored.window.Contains(action.time)) continue;
+      if (!state.stored->window.Contains(action.time)) continue;
       if (state.finalized) {
         ++stats_.late_events;
         continue;
@@ -121,7 +130,7 @@ Status OnlineDetector::ExpireUpTo(Timestamp watermark,
                                   std::vector<OnlineAlert>* alerts) {
   while (expiry_cursor_ < expiry_order_.size()) {
     PatternState& state = patterns_[expiry_order_[expiry_cursor_]];
-    if (state.stored.window.end > watermark) break;
+    if (state.stored->window.end > watermark) break;
     WICLEAN_RETURN_IF_ERROR(Finalize(&state, alerts));
     ++expiry_cursor_;
   }
@@ -131,7 +140,7 @@ Status OnlineDetector::ExpireUpTo(Timestamp watermark,
 Status OnlineDetector::Finalize(PatternState* state,
                                 std::vector<OnlineAlert>* alerts) {
   Timer timer;
-  const Pattern& pattern = state->stored.pattern;
+  const Pattern& pattern = state->stored->pattern;
 
   // Reduce each buffered edge exactly as batch ingestion does (per-entity
   // logs group by edge before collapsing, so single-edge reduction is
@@ -173,7 +182,7 @@ Status OnlineDetector::Finalize(PatternState* state,
   };
   WICLEAN_ASSIGN_OR_RETURN(
       PartialUpdateReport report,
-      DetectPartialsFromRealizations(pattern, state->stored.window,
+      DetectPartialsFromRealizations(pattern, state->stored->window,
                                      registry_->taxonomy(), realizations,
                                      options_.detector));
 
@@ -183,7 +192,7 @@ Status OnlineDetector::Finalize(PatternState* state,
   for (const PartialRealization& pr : report.partials) {
     EditSuggestion suggestion;
     suggestion.pattern = pattern;
-    suggestion.pattern_frequency = state->stored.frequency;
+    suggestion.pattern_frequency = state->stored->frequency;
     suggestion.bindings = pr.bindings;
     suggestion.missing_actions = pr.missing_actions;
     suggestion.examples = report.examples;

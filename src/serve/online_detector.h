@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -86,8 +87,17 @@ class OnlineDetector {
                  OnlineDetectorOptions options);
 
   /// Registers this shard's partition of the snapshot's patterns. Call once
-  /// before the first Observe; `snapshot` may be destroyed afterwards (the
-  /// detector copies what it keeps).
+  /// before the first Observe. The detector *borrows* the shared snapshot
+  /// (per-pattern state holds pointers into it) — this is what lets thousands
+  /// of sessions serve one immutable epoch without copying it; the epoch's
+  /// refcount (serve/snapshot_registry.h) keeps the snapshot alive for as
+  /// long as any detector references it.
+  [[nodiscard]] Status LoadPatterns(
+      std::shared_ptr<const PatternSnapshot> snapshot);
+
+  /// Copying convenience for one-shot callers without a registry: clones
+  /// `snapshot` into a private shared copy, so the argument may be destroyed
+  /// after the call returns.
   [[nodiscard]] Status LoadPatterns(const PatternSnapshot& snapshot);
 
   /// Feeds one event. `sequence` is the event's rank in the canonical stream
@@ -117,7 +127,9 @@ class OnlineDetector {
 
   struct PatternState {
     uint32_t id = 0;  // index into the snapshot's pattern list
-    StoredPattern stored;
+    /// Borrowed from snapshot_ — immutable, shared by every session pinned
+    /// to the same epoch.
+    const StoredPattern* stored = nullptr;
     bool finalized = false;
     /// Raw in-window edits of every routed edge, in arrival order; sorted by
     /// (time, sequence) and reduced at finalization. std::map keeps
@@ -134,6 +146,8 @@ class OnlineDetector {
   const EntityRegistry* registry_;
   OnlineDetectorOptions options_;
   PatternIndex index_;
+  /// Keeps the borrowed pattern state alive (epoch pin or private copy).
+  std::shared_ptr<const PatternSnapshot> snapshot_;
   std::vector<PatternState> patterns_;  // this shard's partition only
   /// Local pattern positions ordered by (window end, id); expiry_cursor_
   /// marks the first not-yet-finalized one.

@@ -1,6 +1,11 @@
 #include "serve/pattern_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cerrno>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -410,11 +415,43 @@ Status SaveSnapshotFile(const PatternSnapshot& snapshot,
                         const std::string& path) {
   std::string bytes;
   WICLEAN_RETURN_IF_ERROR(EncodeSnapshot(snapshot, taxonomy, &bytes));
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return Status::Internal("cannot write snapshot file " + path);
-  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  file.flush();
-  if (!file) return Status::Internal("failed writing snapshot file " + path);
+
+  // Atomic publish: write everything to `path + ".tmp"`, fsync, then rename
+  // over the final name. A crash mid-write leaves only the temp file behind
+  // — a serving reload watching `path` can never observe a half-written
+  // snapshot, and a stale temp from an earlier crash is simply overwritten.
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return Status::Internal("cannot create snapshot temp file " + tmp_path);
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return Status::Internal("failed writing snapshot temp file " +
+                              tmp_path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::Internal("failed syncing snapshot temp file " + tmp_path);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::Internal("failed closing snapshot temp file " + tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::Internal("failed publishing snapshot file " + path);
+  }
   return Status::OK();
 }
 

@@ -78,8 +78,11 @@ inline constexpr uint32_t kSnapshotFormatVersion = 1;
 [[nodiscard]] Result<PatternSnapshot> DecodeSnapshot(
     std::string_view bytes, const TypeTaxonomy& taxonomy);
 
-/// Encode + write to a file (atomic enough for our purposes: written to the
-/// final path in one stream, flushed, stream failure reported).
+/// Encode + atomically publish to a file: the bytes are written to
+/// `path + ".tmp"`, fsynced, and renamed over `path`, so a reader (e.g. a
+/// serving reload) either sees the previous complete snapshot or the new
+/// one — never a torn write. A crash mid-save leaves at most a stale `.tmp`
+/// next to an intact `path`.
 [[nodiscard]] Status SaveSnapshotFile(const PatternSnapshot& snapshot,
                                       const TypeTaxonomy& taxonomy,
                                       const std::string& path);

@@ -1,0 +1,84 @@
+#include "serve/snapshot_registry.h"
+
+namespace wiclean {
+
+SnapshotRef& SnapshotRef::operator=(SnapshotRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    epoch_ = other.epoch_;
+    snapshot_ = std::move(other.snapshot_);
+    other.registry_ = nullptr;
+    other.epoch_ = 0;
+    other.snapshot_.reset();
+  }
+  return *this;
+}
+
+void SnapshotRef::Release() {
+  if (registry_ != nullptr) {
+    registry_->ReleasePin(epoch_);
+    registry_ = nullptr;
+  }
+  epoch_ = 0;
+  snapshot_.reset();
+}
+
+EpochId SnapshotRegistry::Publish(PatternSnapshot snapshot) {
+  auto owned = std::make_shared<CountedSnapshot>(std::move(snapshot),
+                                                 &snapshots_freed_);
+  // Aliased handle: borrowers see the payload, the control block keeps the
+  // counter wrapper (and thus the freed tick) alive until the last borrow.
+  std::shared_ptr<const PatternSnapshot> payload(owned, &owned->snapshot);
+  MutexLock lock(&mu_);
+  const EpochId previous = current_;
+  current_ = ++published_;
+  Epoch& epoch = epochs_[current_];
+  epoch.snapshot = std::move(payload);
+  if (previous != 0) {
+    auto it = epochs_.find(previous);
+    if (it != epochs_.end() && it->second.pins == 0) {
+      epochs_.erase(it);
+      ++retired_;
+    }
+  }
+  return current_;
+}
+
+Result<SnapshotRef> SnapshotRegistry::Acquire() {
+  MutexLock lock(&mu_);
+  if (current_ == 0) {
+    return Status::FailedPrecondition("no snapshot published");
+  }
+  Epoch& epoch = epochs_.at(current_);
+  ++epoch.pins;
+  ++outstanding_pins_;
+  return SnapshotRef(this, current_, epoch.snapshot);
+}
+
+void SnapshotRegistry::ReleasePin(EpochId epoch_id) {
+  MutexLock lock(&mu_);
+  auto it = epochs_.find(epoch_id);
+  if (it == epochs_.end()) return;  // defensive: double release
+  if (it->second.pins > 0) --it->second.pins;
+  if (outstanding_pins_ > 0) --outstanding_pins_;
+  if (it->second.pins == 0 && epoch_id != current_) {
+    epochs_.erase(it);
+    ++retired_;
+  }
+}
+
+SnapshotRegistryStats SnapshotRegistry::stats() const {
+  SnapshotRegistryStats stats;
+  stats.snapshots_freed =
+      snapshots_freed_.load(std::memory_order_acquire);
+  MutexLock lock(&mu_);
+  stats.epochs_published = published_;
+  stats.epochs_retired = retired_;
+  stats.live_epochs = epochs_.size();
+  stats.outstanding_pins = outstanding_pins_;
+  stats.current_epoch = current_;
+  return stats;
+}
+
+}  // namespace wiclean

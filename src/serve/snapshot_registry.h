@@ -1,0 +1,148 @@
+#ifndef WICLEAN_SERVE_SNAPSHOT_REGISTRY_H_
+#define WICLEAN_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "serve/pattern_store.h"
+
+namespace wiclean {
+
+/// Monotonically increasing snapshot generation. 0 means "nothing published
+/// yet" — the first Publish returns 1.
+using EpochId = uint64_t;
+
+/// Point-in-time view of the registry, for monitoring and for the torture
+/// tests that prove retired epochs actually drain:
+/// `epochs_published == epochs_retired + live_epochs` always holds, and at
+/// quiescence (no outstanding pins, one current epoch)
+/// `snapshots_freed == epochs_retired` proves every retired snapshot's
+/// memory was really released, not just dropped from the table.
+struct SnapshotRegistryStats {
+  uint64_t epochs_published = 0;
+  uint64_t epochs_retired = 0;
+  /// Snapshot payloads whose destructor actually ran (counted by the shared
+  /// owner, so this lags epochs_retired only while a drained epoch's last
+  /// pin is still unwinding).
+  uint64_t snapshots_freed = 0;
+  size_t live_epochs = 0;
+  uint64_t outstanding_pins = 0;
+  EpochId current_epoch = 0;
+};
+
+class SnapshotRegistry;
+
+/// RAII pin on one epoch: holding a SnapshotRef keeps that epoch's snapshot
+/// alive and its entry in the registry table. Sessions acquire one at open
+/// and release it at close, which is the whole hot-swap protocol — a Publish
+/// under live traffic never touches pinned epochs, it only changes what the
+/// *next* Acquire returns. Move-only; must not outlive its registry.
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  SnapshotRef(SnapshotRef&& other) noexcept { *this = std::move(other); }
+  SnapshotRef& operator=(SnapshotRef&& other) noexcept;
+  ~SnapshotRef() { Release(); }
+
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+
+  /// Drops the pin (idempotent). The registry retires the epoch once its
+  /// pin count drains and it is no longer current.
+  void Release();
+
+  bool valid() const { return snapshot_ != nullptr; }
+  EpochId epoch() const { return epoch_; }
+  const PatternSnapshot& snapshot() const { return *snapshot_; }
+  /// Shared handle for detectors that borrow pattern state (keeps the
+  /// payload alive even past Release, but not the epoch table entry).
+  const std::shared_ptr<const PatternSnapshot>& shared() const {
+    return snapshot_;
+  }
+
+ private:
+  friend class SnapshotRegistry;
+  SnapshotRef(SnapshotRegistry* registry, EpochId epoch,
+              std::shared_ptr<const PatternSnapshot> snapshot)
+      : registry_(registry), epoch_(epoch), snapshot_(std::move(snapshot)) {}
+
+  SnapshotRegistry* registry_ = nullptr;
+  EpochId epoch_ = 0;
+  std::shared_ptr<const PatternSnapshot> snapshot_;
+};
+
+/// Epoch-versioned table of immutable pattern snapshots with refcounted
+/// retirement — the atomic hot-swap device under the multi-tenant
+/// DetectorService:
+///
+///   - Publish(snapshot) installs a new current epoch. In-flight sessions
+///     are untouched: they keep serving the epoch they pinned at open.
+///   - Acquire() pins the current epoch (refcount + 1) and hands back a
+///     SnapshotRef the session holds for its lifetime.
+///   - When a non-current epoch's pin count reaches zero it is *retired*:
+///     dropped from the table, its snapshot freed once the last borrower
+///     lets go. Epochs never come back — ids are monotonic.
+///
+/// All methods are thread-safe; the epoch table is WC_GUARDED_BY(mu_) so the
+/// -Werror=thread-safety build proves every access is locked.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Installs `snapshot` as the new current epoch and returns its id.
+  /// The previous current epoch is retired immediately if nothing pins it.
+  EpochId Publish(PatternSnapshot snapshot) WC_EXCLUDES(mu_);
+
+  /// Pins the current epoch. Fails with FailedPrecondition before the first
+  /// Publish — a service with no snapshot cannot admit sessions.
+  [[nodiscard]] Result<SnapshotRef> Acquire() WC_EXCLUDES(mu_);
+
+  SnapshotRegistryStats stats() const WC_EXCLUDES(mu_);
+
+ private:
+  friend class SnapshotRef;
+
+  /// Wrapper so the freed counter ticks when the payload is destroyed; the
+  /// table hands out aliased shared_ptrs to `snapshot`.
+  struct CountedSnapshot {
+    CountedSnapshot(PatternSnapshot s, std::atomic<uint64_t>* freed)
+        : snapshot(std::move(s)), freed_counter(freed) {}
+    ~CountedSnapshot() {
+      freed_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    CountedSnapshot(const CountedSnapshot&) = delete;
+    CountedSnapshot& operator=(const CountedSnapshot&) = delete;
+    PatternSnapshot snapshot;
+    std::atomic<uint64_t>* freed_counter;
+  };
+
+  struct Epoch {
+    std::shared_ptr<const PatternSnapshot> snapshot;
+    uint64_t pins = 0;
+  };
+
+  /// Drops one pin; retires the epoch when drained and no longer current.
+  void ReleasePin(EpochId epoch) WC_EXCLUDES(mu_);
+
+  /// Declared before mu_/epochs_ so it outlives every snapshot destructor
+  /// that runs while the table is torn down.
+  std::atomic<uint64_t> snapshots_freed_{0};
+  mutable Mutex mu_;
+  std::map<EpochId, Epoch> epochs_ WC_GUARDED_BY(mu_);
+  EpochId current_ WC_GUARDED_BY(mu_) = 0;
+  uint64_t published_ WC_GUARDED_BY(mu_) = 0;
+  uint64_t retired_ WC_GUARDED_BY(mu_) = 0;
+  uint64_t outstanding_pins_ WC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace wiclean
+
+#endif  // WICLEAN_SERVE_SNAPSHOT_REGISTRY_H_

@@ -410,6 +410,85 @@ TEST(BoundedQueueTest, BackpressureBlocksProducerUntilConsumed) {
   EXPECT_EQ(pushed.load(), 6);
 }
 
+TEST(BoundedQueueTest, TryPushForTimesOutOnFullQueue) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));  // full
+  Timer timer;
+  EXPECT_FALSE(q.TryPushFor(2, std::chrono::milliseconds(20)));
+  // The deadline must actually be honored: neither an instant bail-out that
+  // ignores the wait nor an unbounded block.
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+  EXPECT_EQ(q.size(), 1u);  // the rejected item was dropped, not queued
+}
+
+TEST(BoundedQueueTest, TryPushForZeroTimeoutIsNonBlockingTry) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.TryPushFor(1, std::chrono::milliseconds(0)));  // had space
+  EXPECT_FALSE(q.TryPushFor(2, std::chrono::milliseconds(0)));  // full: fail
+}
+
+TEST(BoundedQueueTest, TryPushForSucceedsWhenConsumerFreesSpace) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));  // full
+  std::thread consumer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int v = 0;
+    ASSERT_TRUE(q.Pop(&v));
+  });
+  // Generous deadline: the push must park past the consumer's delay and win.
+  EXPECT_TRUE(q.TryPushFor(2, std::chrono::milliseconds(10000)));
+  consumer.join();
+  int v = 0;
+  ASSERT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(BoundedQueueTest, TryPushForFailsFastOnClosedOrCancelled) {
+  BoundedQueue<int> closed(1);
+  closed.Close();
+  Timer timer;
+  EXPECT_FALSE(closed.TryPushFor(1, std::chrono::milliseconds(10000)));
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);  // no waiting out the deadline
+
+  BoundedQueue<int> cancelled(1);
+  cancelled.Cancel();
+  EXPECT_FALSE(cancelled.TryPushFor(1, std::chrono::milliseconds(10000)));
+}
+
+TEST(BoundedQueueTest, TryPopForTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(2);
+  int v = 0;
+  Timer timer;
+  EXPECT_FALSE(q.TryPopFor(&v, std::chrono::milliseconds(20)));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);
+}
+
+TEST(BoundedQueueTest, TryPopForSucceedsWhenProducerArrives) {
+  BoundedQueue<int> q(2);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(q.Push(42));
+  });
+  int v = 0;
+  EXPECT_TRUE(q.TryPopFor(&v, std::chrono::milliseconds(10000)));
+  EXPECT_EQ(v, 42);
+  producer.join();
+}
+
+TEST(BoundedQueueTest, TryPopForDrainsCloseThenFailsFast) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  q.Close();
+  int v = 0;
+  EXPECT_TRUE(q.TryPopFor(&v, std::chrono::milliseconds(10000)));
+  EXPECT_EQ(v, 1);
+  Timer timer;
+  EXPECT_FALSE(q.TryPopFor(&v, std::chrono::milliseconds(10000)));
+  EXPECT_LT(timer.ElapsedSeconds(), 5.0);  // closed-and-drained: immediate
+}
+
 TEST(BoundedQueueTest, ManyProducersManyConsumers) {
   BoundedQueue<int> q(4);
   constexpr int kProducers = 4;

@@ -203,6 +203,7 @@ TEST(Index, DeterministicAcrossFileOrderings) {
       "lock_good.cc",          "view_bad_member.cc", "view_bad_return.cc",
       "view_bad_capture.cc",   "view_good.cc",       "suppress_ok.cc",
       "suppress_bad.cc",       "lock_bad_morsel_counter.cc",
+      "lock_bad_epoch_refcount.cc",
   };
   std::string forward = DebugSummary(IndexFixtures(names));
   std::vector<std::string> reversed(names.rbegin(), names.rend());
@@ -285,6 +286,17 @@ TEST(LockPass, FlagsUnguardedMorselClaimCursor) {
   // clean.
   auto f = RunAllPasses(IndexFixtures({"lock_bad_morsel_counter.cc"}));
   EXPECT_EQ(CountRule(f, "unguarded-access"), 3u) << Render(f);
+}
+
+TEST(LockPass, FlagsUnguardedEpochRefcount) {
+  // Seeded-defect twin of serve::SnapshotRegistry (see
+  // src/serve/snapshot_registry.h): the pin refcount is bumped lock-free in
+  // Acquire(), the current-epoch cursor is read outside the lock in both
+  // Acquire() and Publish(), and the refcount is decremented after the
+  // MutexLock scope closed in Release(). Guarded accesses inside the lock
+  // scopes and the unannotated published counter must stay clean.
+  auto f = RunAllPasses(IndexFixtures({"lock_bad_epoch_refcount.cc"}));
+  EXPECT_EQ(CountRule(f, "unguarded-access"), 4u) << Render(f);
 }
 
 TEST(LockPass, CleanControlHasNoFindings) {

@@ -1,0 +1,48 @@
+// wican fixture (never compiled): the seeded-defect twin of
+// serve::SnapshotRegistry. The real registry mutates the epoch table and its
+// pin refcounts only under mu; this version bumps a WC_GUARDED_BY pin count
+// with no lock on the acquire fast path, reads the current-epoch cursor
+// outside the lock during publish, and touches the refcount again after the
+// lock scope closed in release. Expected: four unguarded-access findings.
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct SnapshotRegistry {
+  Mutex mu;
+  unsigned long current_epoch WC_GUARDED_BY(mu);
+  unsigned long pins WC_GUARDED_BY(mu);
+  unsigned long published;
+  unsigned long Acquire();
+  unsigned long Publish();
+  bool Release();
+};
+
+unsigned long SnapshotRegistry::Acquire() {
+  pins = pins + 1;       // BAD: racy refcount bump, mu not held (one site)
+  return current_epoch;  // BAD: racy read of the epoch cursor
+}
+
+unsigned long SnapshotRegistry::Publish() {
+  unsigned long next = current_epoch + 1;  // BAD: read outside the lock
+  {
+    MutexLock lock(&mu);
+    current_epoch = next;  // fine: mu held
+  }
+  published = published + 1;  // fine: not a guarded field
+  return next;
+}
+
+bool SnapshotRegistry::Release() {
+  {
+    MutexLock lock(&mu);
+    if (pins == 0) return false;  // fine: mu held
+  }
+  pins = pins - 1;  // BAD: lock released at end of block (one site)
+  return true;
+}

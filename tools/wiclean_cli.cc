@@ -37,8 +37,14 @@
 //
 //   wiclean serve --dump F --taxonomy F --alignment F --patterns SNAPSHOT
 //                 [--feed-threads N] [--allowed-skew SECONDS] [--json FILE]
+//                 [--tenants N] [--reload F2,F3] [--max-tenants N]
+//                 [--feed-deadline-ms D] [--queue-capacity N]
 //     Replays the corpus's revision log as an event stream through the
-//     online detector session and reports alerts plus throughput.
+//     multi-tenant online detector service and reports alerts plus
+//     throughput. --tenants staggers N sessions along the feed; --reload
+//     hot-swaps further snapshot files mid-feed (sessions keep the epoch
+//     they pinned at open); --feed-deadline-ms turns sustained
+//     backpressure into explicit load shedding.
 //
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
@@ -55,6 +61,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/strings.h"
 #include "common/timer.h"
 
 #include "core/partial.h"
@@ -67,6 +74,7 @@
 #include "log/action_log_writer.h"
 #include "log/replay.h"
 #include "report/report.h"
+#include "serve/detector_service.h"
 #include "serve/detector_session.h"
 #include "serve/pattern_store.h"
 #include "synth/dump_render.h"
@@ -446,53 +454,165 @@ int RunPack(const Args& args) {
 }
 
 /// Shared online path of `wiclean serve` and `wiclean detect --online 1`:
-/// replays the corpus's revision log through a DetectorSession against the
-/// packed patterns.
+/// replays the corpus's revision log through a multi-tenant DetectorService
+/// against the packed patterns. One tenant replaying the full stream is the
+/// classic one-shot session; --tenants staggers additional sessions along
+/// the feed, and --reload hot-swaps further snapshot files mid-feed (tenants
+/// opened later pin the newer epoch — in-flight ones are untouched).
 int RunOnline(const LoadedCorpus& corpus, const PatternSnapshot& snapshot,
               const Args& args) {
-  DetectorSessionOptions options;
+  DetectorServiceOptions options;
   int64_t feed_threads = args.GetInt("feed-threads", 1);
   if (feed_threads < 1) {
     return Fail(Status::InvalidArgument("--feed-threads must be >= 1"));
   }
-  options.num_threads = static_cast<size_t>(feed_threads);
+  options.shards_per_tenant = static_cast<size_t>(feed_threads);
   options.detector.allowed_skew = args.GetInt("allowed-skew", 0);
   options.detector.detector.max_abstraction_lift =
       snapshot.provenance.max_abstraction_lift;
+  int64_t max_tenants = args.GetInt("max-tenants", 64);
+  if (max_tenants < 1) {
+    return Fail(Status::InvalidArgument("--max-tenants must be >= 1"));
+  }
+  options.max_tenants = static_cast<size_t>(max_tenants);
+  // Default 0 = block on backpressure: the faithful batch-replay mode. A
+  // positive deadline turns sustained overload into explicit shed events.
+  options.feed_deadline_ms = args.GetInt("feed-deadline-ms", 0);
+  options.tenant_queue_capacity =
+      static_cast<size_t>(args.GetInt("queue-capacity", 256));
+
+  int64_t num_tenants = args.GetInt("tenants", 1);
+  if (num_tenants < 1) {
+    return Fail(Status::InvalidArgument("--tenants must be >= 1"));
+  }
+  std::vector<std::string> reload_paths;
+  for (const std::string& part : SplitString(args.Get("reload", ""), ',')) {
+    if (!part.empty()) reload_paths.push_back(part);
+  }
 
   std::vector<std::pair<Action, uint64_t>> feed =
       BuildCanonicalFeed(*corpus.registry, corpus.store);
 
-  DetectorSession session(corpus.registry.get(), options);
-  Status status = session.Start(snapshot);
-  if (!status.ok()) return Fail(status);
-  Timer wall;
-  for (const auto& [action, sequence] : feed) {
-    if (!session.FeedWithSequence(action, sequence)) break;
+  DetectorService service(corpus.registry.get(), options);
+  service.PublishSnapshot(snapshot);
+
+  // Schedule: tenant i opens at feed fraction i/N (tenant 0 sees the whole
+  // stream and is the one whose report is printed); reload j publishes at
+  // fraction (j+1)/(k+1). Feeding is index-driven so runs are reproducible.
+  struct OpenTenant {
+    TenantId id = 0;
+    uint64_t fed = 0;
+    uint64_t shed = 0;
+  };
+  std::vector<OpenTenant> tenants;
+  std::vector<size_t> open_at(static_cast<size_t>(num_tenants), 0);
+  for (size_t i = 0; i < open_at.size(); ++i) {
+    open_at[i] = feed.size() * i / static_cast<size_t>(num_tenants);
   }
-  Result<SessionReport> report = session.Drain();
-  if (!report.ok()) return Fail(report.status());
+  std::vector<size_t> reload_at(reload_paths.size(), 0);
+  for (size_t j = 0; j < reload_paths.size(); ++j) {
+    reload_at[j] = feed.size() * (j + 1) / (reload_paths.size() + 1);
+  }
+
+  size_t next_open = 0;
+  size_t next_reload = 0;
+  uint64_t reloads_done = 0;
+  Timer wall;
+  for (size_t i = 0; i <= feed.size(); ++i) {
+    while (next_reload < reload_at.size() && reload_at[next_reload] <= i) {
+      Result<EpochId> epoch =
+          service.PublishSnapshotFile(reload_paths[next_reload]);
+      if (!epoch.ok()) {
+        // A bad reload (missing/corrupt file) is contained: the previous
+        // epoch keeps serving every tenant, including ones not yet opened.
+        std::fprintf(stderr, "reload %s rejected: %s\n",
+                     reload_paths[next_reload].c_str(),
+                     epoch.status().ToString().c_str());
+      } else {
+        ++reloads_done;
+        std::fprintf(stderr, "reload %s published as epoch %llu at event %zu\n",
+                     reload_paths[next_reload].c_str(),
+                     static_cast<unsigned long long>(*epoch), i);
+      }
+      ++next_reload;
+    }
+    while (next_open < open_at.size() && open_at[next_open] <= i) {
+      Result<TenantId> id = service.OpenSession();
+      if (!id.ok()) return Fail(id.status());
+      tenants.push_back(OpenTenant{*id, 0, 0});
+      ++next_open;
+    }
+    if (i == feed.size()) break;
+    for (OpenTenant& t : tenants) {
+      switch (service.Feed(t.id, feed[i].first)) {
+        case FeedResult::kOk:
+          ++t.fed;
+          break;
+        case FeedResult::kOverloaded:
+          ++t.shed;
+          break;
+        case FeedResult::kQuarantined: {
+          Result<QuarantineCause> cause = service.cause(t.id);
+          return Fail(Status::Internal(
+              "tenant " + std::to_string(t.id) + " quarantined: " +
+              (cause.ok() ? cause->ToString() : cause.status().ToString())));
+        }
+        case FeedResult::kUnknownTenant:
+          return Fail(Status::Internal("tenant vanished mid-feed"));
+      }
+    }
+  }
+
+  std::vector<TenantReport> closed;
+  for (const OpenTenant& t : tenants) {
+    Result<TenantReport> report = service.CloseSession(t.id);
+    if (!report.ok()) return Fail(report.status());
+    closed.push_back(std::move(report).value());
+  }
   double seconds = wall.ElapsedSeconds();
 
+  const TenantReport& primary = closed.front();
   std::fprintf(stderr,
                "served %llu event(s) on %zu shard thread(s) in %.3fs "
                "(%.0f actions/s), %llu pattern(s) finalized, %llu alert(s)\n",
-               static_cast<unsigned long long>(report->events_fed),
-               options.num_threads, seconds,
-               seconds > 0 ? static_cast<double>(report->events_fed) / seconds
-                           : 0.0,
+               static_cast<unsigned long long>(primary.session.events_fed),
+               options.shards_per_tenant, seconds,
+               seconds > 0
+                   ? static_cast<double>(primary.session.events_fed) / seconds
+                   : 0.0,
                static_cast<unsigned long long>(
-                   report->stats.patterns_finalized),
+                   primary.session.stats.patterns_finalized),
                static_cast<unsigned long long>(
-                   report->stats.alerts_with_partials));
+                   primary.session.stats.alerts_with_partials));
+  if (closed.size() > 1 || reloads_done > 0) {
+    for (const TenantReport& tr : closed) {
+      std::fprintf(stderr,
+                   "  tenant %llu: epoch %llu, %llu event(s) fed, "
+                   "%llu shed, %llu alert(s)\n",
+                   static_cast<unsigned long long>(tr.tenant),
+                   static_cast<unsigned long long>(tr.epoch),
+                   static_cast<unsigned long long>(tr.session.events_fed),
+                   static_cast<unsigned long long>(tr.session.events_shed),
+                   static_cast<unsigned long long>(
+                       tr.session.stats.alerts_with_partials));
+    }
+    SnapshotRegistryStats rs = service.registry_stats();
+    std::fprintf(stderr,
+                 "  epochs: %llu published, %llu retired, %llu freed, "
+                 "%zu live\n",
+                 static_cast<unsigned long long>(rs.epochs_published),
+                 static_cast<unsigned long long>(rs.epochs_retired),
+                 static_cast<unsigned long long>(rs.snapshots_freed),
+                 rs.live_epochs);
+  }
 
   std::vector<PartialUpdateReport> reports;
-  reports.reserve(report->alerts.size());
-  for (OnlineAlert& alert : report->alerts) {
+  reports.reserve(primary.session.alerts.size());
+  for (const OnlineAlert& alert : primary.session.alerts) {
     // Single-action patterns cannot signal errors; the batch CLI path skips
     // them too, so both modes report the same pattern set.
     if (alert.report.pattern.num_actions() < 2) continue;
-    reports.push_back(std::move(alert.report));
+    reports.push_back(alert.report);
   }
   int rc = PrintReports(corpus, reports, args);
   if (rc != 0) return rc;
@@ -785,7 +905,21 @@ int Usage() {
                "--patterns SNAPSHOT\n"
                "         [--feed-threads N] [--allowed-skew S] [--json F] "
                "stream the corpus\n"
-               "         through the online detector session\n"
+               "         through the multi-tenant online detector service\n"
+               "         [--tenants N]          stagger N sessions along the "
+               "feed (default 1)\n"
+               "         [--reload F2,F3]       hot-swap snapshot files at "
+               "evenly spaced feed\n"
+               "             points; open sessions keep their pinned epoch, "
+               "corrupt files are\n"
+               "             rejected while the old epoch keeps serving\n"
+               "         [--max-tenants N]      admission cap (default 64)\n"
+               "         [--feed-deadline-ms D] shed load after D ms of "
+               "backpressure instead\n"
+               "             of blocking (default 0 = block: faithful batch "
+               "replay)\n"
+               "         [--queue-capacity N]   per-tenant shard queue quota "
+               "(default 256)\n"
                "--threads parallelizes dump parse/diff ingestion; output is\n"
                "identical to --threads 1. The ingested: line on stderr "
                "reports per-stage (read/parse/merge) times.\n"
