@@ -51,17 +51,19 @@ Result<TenantId> DetectorService::OpenSession() {
 }
 
 Result<TenantId> DetectorService::OpenSession(const ShardFaultPlan& fault) {
-  MutexLock lock(&mu_);
-  if (tenants_.size() >= options_.max_tenants) {
-    sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
-    return Status::ResourceExhausted(
-        "tenant limit reached (" + std::to_string(options_.max_tenants) +
-        ")");
+  {
+    // Fast-fail before paying for LoadPatterns; re-checked at insert.
+    MutexLock lock(&mu_);
+    if (tenants_.size() >= options_.max_tenants) {
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "tenant limit reached (" + std::to_string(options_.max_tenants) +
+          ")");
+    }
   }
   WICLEAN_ASSIGN_OR_RETURN(SnapshotRef pin, epochs_.Acquire());
 
   auto tenant = std::make_shared<Tenant>();
-  tenant->id = ++next_tenant_;
   tenant->epoch = pin.epoch();
 
   DetectorSessionOptions session_options;
@@ -73,15 +75,36 @@ Result<TenantId> DetectorService::OpenSession(const ShardFaultPlan& fault) {
 
   auto session = std::make_unique<DetectorSession>(registry_,
                                                    session_options);
+  // Build and Start outside mu_: per-shard LoadPatterns over a large
+  // snapshot (plus thread-pool spawn) must not stall every other tenant's
+  // Feed behind the table lock. On an early return the session destructor
+  // cancels the workers and the pin destructor releases the epoch.
+  WICLEAN_RETURN_IF_ERROR(session->Start(pin.shared()));
   {
     MutexLock tenant_lock(&tenant->mu);
-    WICLEAN_RETURN_IF_ERROR(session->Start(pin.shared()));
     tenant->session = std::move(session);
     tenant->pin = std::move(pin);
   }
-  tenants_.emplace(tenant->id, tenant);
-  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
-  return tenant->id;
+  {
+    MutexLock lock(&mu_);
+    if (tenants_.size() < options_.max_tenants) {
+      tenant->id = ++next_tenant_;
+      tenants_.emplace(tenant->id, tenant);
+      sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+      return tenant->id;
+    }
+    sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Lost the re-check: a concurrent open took the last slot while this one
+  // was loading. Tear down outside mu_ (Cancel joins worker threads).
+  {
+    MutexLock tenant_lock(&tenant->mu);
+    tenant->session->Cancel();
+    tenant->session.reset();
+    tenant->pin.Release();
+  }
+  return Status::ResourceExhausted(
+      "tenant limit reached (" + std::to_string(options_.max_tenants) + ")");
 }
 
 std::shared_ptr<DetectorService::Tenant> DetectorService::FindTenant(
@@ -103,11 +126,41 @@ void DetectorService::Quarantine(Tenant* t, QuarantineCause cause) {
 }
 
 FeedResult DetectorService::Feed(TenantId tenant, const Action& action) {
+  return FeedInternal(tenant, action, /*has_sequence=*/false, 0);
+}
+
+FeedResult DetectorService::Feed(TenantId tenant, const Action& action,
+                                 uint64_t sequence) {
+  return FeedInternal(tenant, action, /*has_sequence=*/true, sequence);
+}
+
+FeedResult DetectorService::FeedInternal(TenantId tenant,
+                                         const Action& action,
+                                         bool has_sequence,
+                                         uint64_t sequence) {
   std::shared_ptr<Tenant> t = FindTenant(tenant);
   if (t == nullptr) return FeedResult::kUnknownTenant;
+  // feed_mu (held across the whole attempt) serializes this tenant's
+  // producers and keeps `session` alive: CloseSession acquires it before
+  // destroying the session. t->mu is NOT held across TryFeed — a producer
+  // parked on a full queue must not wedge the watchdog or a concurrent
+  // close.
+  MutexLock feed_lock(&t->feed_mu);
+  DetectorSession* session = nullptr;
+  {
+    MutexLock lock(&t->mu);
+    if (t->quarantined) return FeedResult::kQuarantined;
+    // CloseSession can unlink and drain the tenant between FindTenant and
+    // here; the tenant is then gone, not quarantined.
+    if (t->session == nullptr) return FeedResult::kUnknownTenant;
+    session = t->session.get();
+  }
+  const FeedStatus status = has_sequence
+                                ? session->TryFeedWithSequence(action,
+                                                               sequence)
+                                : session->TryFeed(action);
   MutexLock lock(&t->mu);
-  if (t->quarantined) return FeedResult::kQuarantined;
-  switch (t->session->TryFeed(action)) {
+  switch (status) {
     case FeedStatus::kOk:
       ++t->events_fed;
       events_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -118,9 +171,12 @@ FeedResult DetectorService::Feed(TenantId tenant, const Action& action) {
     case FeedStatus::kAborted:
       break;
   }
+  // The watchdog may have quarantined (and cancelled) the session while this
+  // feed was blocked in it; its structured cause wins.
+  if (t->quarantined) return FeedResult::kQuarantined;
   QuarantineCause cause;
   cause.kind = QuarantineCause::Kind::kShardFailure;
-  cause.status = t->session->cause();
+  cause.status = session->cause();
   Quarantine(t.get(), std::move(cause));
   return FeedResult::kQuarantined;
 }
@@ -137,6 +193,10 @@ Result<TenantReport> DetectorService::CloseSession(TenantId tenant) {
     t = std::move(it->second);
     tenants_.erase(it);
   }
+  // feed_mu first: waits out any producer still inside the session (a
+  // FindTenant from before the unlink), so the drain below never runs
+  // concurrently with a feed and the session dies with no one inside it.
+  MutexLock feed_lock(&t->feed_mu);
   MutexLock tenant_lock(&t->mu);
   sessions_closed_.fetch_add(1, std::memory_order_relaxed);
   if (t->quarantined) {

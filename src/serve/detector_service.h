@@ -108,10 +108,18 @@ struct DetectorServiceStats {
 ///     stands still.
 ///
 /// Thread-safety: everything is callable from any thread. The tenant table
-/// is guarded by mu_; each tenant's session is serialized by the tenant's
-/// own mutex, so feeds of different tenants never contend with each other
-/// (only with the table lookup). Feeds of the SAME tenant are serialized —
-/// one logical stream per tenant.
+/// is guarded by mu_; each tenant carries two mutexes with distinct jobs.
+/// `feed_mu` serializes the tenant's producers (one logical stream per
+/// tenant — DetectorSession requires a single producer) and is the only
+/// lock held across a possibly-blocking queue push; `mu` guards the
+/// tenant's state (session pointer, quarantine flag, heartbeat baselines)
+/// and is only ever held briefly. The split is load-bearing: a producer
+/// parked on a full queue (feed_deadline_ms <= 0, stuck shard) holds only
+/// feed_mu, so RunWatchdogScan can still read the heartbeats, quarantine
+/// the tenant, and — via Cancel — wake that very producer; with the state
+/// lock held across the push instead, the watchdog could never reach the
+/// exact condition it exists to detect. Feeds of different tenants never
+/// contend with each other (only with the table lookup).
 class DetectorService {
  public:
   /// `registry` (entities + taxonomy) must outlive the service.
@@ -141,6 +149,11 @@ class DetectorService {
   /// order). kAborted from the session quarantines the tenant here.
   FeedResult Feed(TenantId tenant, const Action& action) WC_EXCLUDES(mu_);
 
+  /// Feed with an explicit canonical sequence rank — for streams whose
+  /// canonical order (e.g. pre-sort entity-log rank) is not the feed order.
+  FeedResult Feed(TenantId tenant, const Action& action, uint64_t sequence)
+      WC_EXCLUDES(mu_);
+
   /// Drains a healthy tenant and returns its merged report; releases the
   /// epoch pin (possibly retiring the epoch). For a quarantined tenant,
   /// returns the failure Status instead — query cause() first for the
@@ -166,9 +179,15 @@ class DetectorService {
  private:
   struct Tenant {
     TenantId id = 0;
-    /// Serializes this tenant's stream: Feed, quarantine, close, and the
-    /// watchdog's heartbeat reads all hold it. Distinct tenants never
-    /// contend.
+    /// Serializes this tenant's producers and pins the session's lifetime:
+    /// Feed holds it (WITHOUT mu) across the possibly-blocking TryFeed, and
+    /// CloseSession acquires it before destroying the session, so a raw
+    /// session pointer read under mu stays valid for as long as feed_mu is
+    /// held. Never acquired while holding mu.
+    Mutex feed_mu WC_ACQUIRED_BEFORE(mu);
+    /// Guards this tenant's state. Held only briefly — never across a
+    /// blocking queue push — so quarantine, close, and the watchdog's
+    /// heartbeat reads always make progress. Distinct tenants never contend.
     Mutex mu;
     std::unique_ptr<DetectorSession> session WC_GUARDED_BY(mu);
     SnapshotRef pin WC_GUARDED_BY(mu);
@@ -183,6 +202,9 @@ class DetectorService {
   };
 
   std::shared_ptr<Tenant> FindTenant(TenantId id) const WC_EXCLUDES(mu_);
+  FeedResult FeedInternal(TenantId tenant, const Action& action,
+                          bool has_sequence, uint64_t sequence)
+      WC_EXCLUDES(mu_);
   /// Marks the tenant quarantined and cancels its session. First caller
   /// wins; callers must have checked `!t->quarantined`.
   void Quarantine(Tenant* t, QuarantineCause cause) WC_REQUIRES(t->mu);

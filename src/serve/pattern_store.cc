@@ -416,10 +416,13 @@ Status SaveSnapshotFile(const PatternSnapshot& snapshot,
   std::string bytes;
   WICLEAN_RETURN_IF_ERROR(EncodeSnapshot(snapshot, taxonomy, &bytes));
 
-  // Atomic publish: write everything to `path + ".tmp"`, fsync, then rename
-  // over the final name. A crash mid-write leaves only the temp file behind
-  // — a serving reload watching `path` can never observe a half-written
-  // snapshot, and a stale temp from an earlier crash is simply overwritten.
+  // Atomic, durable publish: write everything to `path + ".tmp"`, fsync,
+  // rename over the final name, then fsync the parent directory. A crash
+  // mid-write leaves only the temp file behind — a serving reload watching
+  // `path` can never observe a half-written snapshot, and a stale temp from
+  // an earlier crash is simply overwritten. The directory fsync makes the
+  // rename itself durable: without it, power loss just after publish can
+  // resurface the old file (or none) even though rename already returned.
   const std::string tmp_path = path + ".tmp";
   const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
                         0644);
@@ -451,6 +454,19 @@ Status SaveSnapshotFile(const PatternSnapshot& snapshot,
   if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
     ::unlink(tmp_path.c_str());
     return Status::Internal("failed publishing snapshot file " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir_path =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return Status::Internal("cannot open snapshot directory " + dir_path +
+                            " to sync the publish");
+  }
+  const int synced = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (synced != 0) {
+    return Status::Internal("failed syncing snapshot directory " + dir_path);
   }
   return Status::OK();
 }

@@ -81,8 +81,9 @@ inline constexpr uint32_t kSnapshotFormatVersion = 1;
 /// Encode + atomically publish to a file: the bytes are written to
 /// `path + ".tmp"`, fsynced, and renamed over `path`, so a reader (e.g. a
 /// serving reload) either sees the previous complete snapshot or the new
-/// one — never a torn write. A crash mid-save leaves at most a stale `.tmp`
-/// next to an intact `path`.
+/// one — never a torn write. The parent directory is fsynced after the
+/// rename, so once this returns OK the publish survives power loss. A
+/// crash mid-save leaves at most a stale `.tmp` next to an intact `path`.
 [[nodiscard]] Status SaveSnapshotFile(const PatternSnapshot& snapshot,
                                       const TypeTaxonomy& taxonomy,
                                       const std::string& path);

@@ -561,6 +561,89 @@ TEST_F(ServeFaultTest, DestructorAbortsLiveTenantsCleanly) {
   // verify the latter).
 }
 
+TEST_F(ServeFaultTest, CloseDuringConcurrentFeedIsAnExplicitMiss) {
+  // Regression: Feed could look up the tenant just before CloseSession
+  // unlinked it, then dereference the already-destroyed session — a crash.
+  // A feed that loses the race must instead report kUnknownTenant, exactly
+  // like feeding after the close returned. Several rounds so the TSan lane
+  // sees real interleavings on both sides of the unlink.
+  DetectorService service(world_->registry.get(), ServiceOptions(1));
+  service.PublishSnapshot(*snapshot_a_);
+  for (int round = 0; round < 8; ++round) {
+    Result<TenantId> tenant = service.OpenSession();
+    ASSERT_TRUE(tenant.ok()) << tenant.status().ToString();
+    std::thread feeder([&] {
+      for (size_t i = 0;; i = (i + 1) % feed_->size()) {
+        const FeedResult r = service.Feed(*tenant, (*feed_)[i].first);
+        if (r == FeedResult::kUnknownTenant) return;  // the close won
+        ASSERT_EQ(r, FeedResult::kOk);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    // Close races the feeder; it must wait out any in-flight feed, drain
+    // cleanly, and leave later feeds an explicit miss (the partial stream
+    // makes no differential promise, so only the status is checked).
+    Result<TenantReport> closed = service.CloseSession(*tenant);
+    ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+    feeder.join();
+    EXPECT_EQ(service.Feed(*tenant, (*feed_)[0].first),
+              FeedResult::kUnknownTenant);
+  }
+  EXPECT_EQ(service.num_tenants(), 0u);
+}
+
+TEST_F(ServeFaultTest, WatchdogReachesTenantWhoseProducerIsParked) {
+  // Regression: in blocking mode (feed_deadline_ms <= 0) a producer parked
+  // on a stuck shard's full queue used to hold the tenant's state lock for
+  // the whole push, so RunWatchdogScan could never quarantine the very
+  // condition it exists to detect — and CloseSession wedged behind the same
+  // lock. The feed lock / state lock split lets the watchdog quarantine the
+  // tenant, whose Cancel is what wakes the parked producer.
+  DetectorServiceOptions options = ServiceOptions(1);
+  options.tenant_queue_capacity = 2;
+  options.feed_deadline_ms = 0;  // blocking batch-replay mode: no shedding
+  DetectorService service(world_->registry.get(), options);
+  service.PublishSnapshot(*snapshot_a_);
+
+  ShardFaultPlan stall;
+  stall.stall_shard = 0;
+  stall.stall_after = 1;
+  Result<TenantId> stalled = service.OpenSession(stall);
+  ASSERT_TRUE(stalled.ok());
+
+  std::thread producer([&] {
+    // Fills the stalled shard's queue, then parks inside Feed until the
+    // watchdog's quarantine cancels the session out from under it.
+    for (size_t i = 0; i < feed_->size(); ++i) {
+      const FeedResult r = service.Feed(*stalled, (*feed_)[i].first);
+      if (r != FeedResult::kOk) {
+        EXPECT_EQ(r, FeedResult::kQuarantined);
+        return;
+      }
+    }
+    ADD_FAILURE() << "producer drained the feed without ever blocking";
+  });
+
+  // If the state lock were held across the blocked push, this loop would
+  // never observe a quarantine and the join below would hang — the old
+  // deadlock, now the test's failure mode.
+  size_t quarantined = 0;
+  for (int scan = 0; scan < 5000 && quarantined == 0; ++scan) {
+    quarantined = service.RunWatchdogScan();
+    if (quarantined == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_EQ(quarantined, 1u) << "watchdog never reached the parked tenant";
+  producer.join();
+
+  Result<QuarantineCause> cause = service.cause(*stalled);
+  ASSERT_TRUE(cause.ok()) << cause.status().ToString();
+  EXPECT_EQ(cause->kind, QuarantineCause::Kind::kStuckShard);
+  EXPECT_EQ(cause->shard, 0u);
+  EXPECT_FALSE(service.CloseSession(*stalled).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Hot-swap torture: the TSan lane's centerpiece. Four concurrent feeder
 // threads run back-to-back sessions (open → full canonical feed → close →

@@ -544,7 +544,10 @@ int RunOnline(const LoadedCorpus& corpus, const PatternSnapshot& snapshot,
     }
     if (i == feed.size()) break;
     for (OpenTenant& t : tenants) {
-      switch (service.Feed(t.id, feed[i].first)) {
+      // Explicit canonical sequence: the pre-sort entity-log rank, not the
+      // feed index — keeps (time, sequence) tie-breaking identical to the
+      // batch path even if the canonical ordering ever changes.
+      switch (service.Feed(t.id, feed[i].first, feed[i].second)) {
         case FeedResult::kOk:
           ++t.fed;
           break;
